@@ -1,0 +1,136 @@
+// Command bots runs a single BOTS benchmark, in the spirit of the
+// original suite's per-application drivers: pick an application, an
+// input class, a version (tied/untied × cut-off × generator), a
+// thread count, and optionally a runtime cut-off and scheduling
+// policy; the driver runs the sequential reference, the parallel
+// version, verifies the result, and reports runtime statistics.
+//
+// Examples:
+//
+//	bots -list
+//	bots -bench sort -class medium -version untied -threads 4
+//	bots -bench nqueens -version manual-untied -cutoff 5 -verify=false
+//	bots -bench fib -version none-tied -runtime-cutoff maxtasks
+//	bots -bench sparselu -version for-tied -simulate 32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	_ "bots/internal/apps/all"
+	"bots/internal/core"
+	"bots/internal/omp"
+	"bots/internal/sim"
+	"bots/internal/trace"
+)
+
+func main() {
+	var (
+		list      = flag.Bool("list", false, "list benchmarks and versions")
+		bench     = flag.String("bench", "", "benchmark name")
+		className = flag.String("class", "small", "input class: test/small/medium/large")
+		version   = flag.String("version", "", "version to run (default: the benchmark's best version)")
+		threads   = flag.Int("threads", 4, "team size")
+		cutoff    = flag.Int("cutoff", 0, "application depth cut-off override (0 = default)")
+		rtCutoff  = flag.String("runtime-cutoff", "none", "runtime cut-off: none/maxtasks/maxqueue/adaptive")
+		policy    = flag.String("policy", "workfirst", "local scheduling policy: workfirst/breadthfirst")
+		verify    = flag.Bool("verify", true, "run the sequential reference and verify the parallel result")
+		simulate  = flag.Int("simulate", 0, "also record a task graph and simulate this many virtual threads (0 = off)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, b := range core.All() {
+			fmt.Printf("%-10s best=%-14s versions=%s\n", b.Name, b.BestVersion, strings.Join(b.Versions, ","))
+		}
+		return
+	}
+	if *bench == "" {
+		fmt.Fprintln(os.Stderr, "bots: -bench is required (or -list); see -h")
+		os.Exit(2)
+	}
+	b, err := core.Get(*bench)
+	fatal(err)
+	class, err := core.ParseClass(*className)
+	fatal(err)
+	v := *version
+	if v == "" {
+		v = b.BestVersion
+	}
+	cfg := core.RunConfig{
+		Class:       class,
+		Version:     v,
+		Threads:     *threads,
+		CutoffDepth: *cutoff,
+	}
+	switch *rtCutoff {
+	case "none", "":
+	case "maxtasks":
+		cfg.RuntimeCutoff = omp.MaxTasks{}
+	case "maxqueue":
+		cfg.RuntimeCutoff = omp.MaxQueue{}
+	case "adaptive":
+		cfg.RuntimeCutoff = omp.Adaptive{}
+	default:
+		fatal(fmt.Errorf("unknown -runtime-cutoff %q", *rtCutoff))
+	}
+	switch *policy {
+	case "workfirst", "":
+	case "breadthfirst":
+		cfg.Policy = omp.BreadthFirst
+	default:
+		fatal(fmt.Errorf("unknown -policy %q", *policy))
+	}
+
+	var seq *core.SeqResult
+	if *verify || *simulate > 0 {
+		seq, err = b.Seq(class)
+		fatal(err)
+		fmt.Printf("sequential: %v (work=%d units, mem≈%d bytes)\n", seq.Elapsed, seq.Work, seq.MemBytes)
+	}
+
+	var rec *trace.Recorder
+	if *simulate > 0 {
+		rec = trace.NewRecorder()
+		cfg.Threads = *simulate
+		cfg.Recorder = rec
+		fmt.Printf("note: -simulate records on a %d-thread team\n", *simulate)
+	}
+	res, err := b.Run(cfg)
+	fatal(err)
+	fmt.Printf("parallel %s/%s on %d threads: %v\n", b.Name, v, cfg.Threads, res.Elapsed)
+	fmt.Printf("  %s\n", res.Stats)
+	if res.Metric > 0 {
+		fmt.Printf("  metric: %.0f (nodes visited; throughput = %.0f nodes/s)\n",
+			res.Metric, res.Metric/res.Elapsed.Seconds())
+	}
+	if *verify {
+		if err := b.Check(seq, res); err != nil {
+			fatal(err)
+		}
+		fmt.Println("  verification: OK")
+	}
+	if *simulate > 0 {
+		tr := rec.Finish()
+		if err := tr.Validate(); err != nil {
+			fatal(err)
+		}
+		p := sim.DefaultOverheads()
+		p.WorkUnitNS = float64(seq.Elapsed.Nanoseconds()) / float64(seq.Work)
+		p.MemFraction = b.Profile.MemFraction
+		p.BandwidthCap = b.Profile.BandwidthCap
+		r, err := sim.Run(tr, *simulate, p)
+		fatal(err)
+		fmt.Printf("  simulated on %d virtual threads: %s\n", *simulate, r)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bots:", err)
+		os.Exit(1)
+	}
+}

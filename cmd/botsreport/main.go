@@ -1,0 +1,96 @@
+// Command botsreport regenerates every table and figure of the BOTS
+// paper's evaluation (Duran et al., ICPP 2009) from this
+// reproduction: Table I (application summary), Table II (per-task
+// characteristics), Figure 3 (best-version speedups), Figure 4
+// (cut-off mechanisms on NQueens), Figure 5 (tied vs untied), and the
+// §IV-D ablations (cut-off value sweep, scheduling policies,
+// generator schemes).
+//
+//	botsreport                      # everything, medium class
+//	botsreport -class small -only fig3,fig4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	_ "bots/internal/apps/all"
+	"bots/internal/core"
+	"bots/internal/report"
+)
+
+func main() {
+	var (
+		className = flag.String("class", "medium", "input class for all experiments")
+		only      = flag.String("only", "", "comma-separated subset: table1,table2,analysis,fig3,fig4,fig5,extensions,cutoffdepth,policy,threadswitch,queuearch,generators")
+		threads   = flag.String("threads", "", "comma-separated thread axis (default 1,2,4,8,16,24,32)")
+	)
+	flag.Parse()
+
+	class, err := core.ParseClass(*className)
+	fatal(err)
+	axis := report.PaperThreads
+	if *threads != "" {
+		axis = nil
+		for _, part := range strings.Split(*threads, ",") {
+			var t int
+			_, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &t)
+			fatal(err)
+			axis = append(axis, t)
+		}
+	}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, part := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(part)] = true
+		}
+	}
+	run := func(name string) bool { return len(want) == 0 || want[name] }
+	w := os.Stdout
+
+	if run("table1") {
+		report.Table1(w)
+	}
+	if run("table2") {
+		fatal(report.Table2(w, class))
+	}
+	if run("analysis") {
+		fatal(report.TableAnalysis(w, class))
+	}
+	if run("fig3") {
+		fatal(report.Fig3(w, class, axis))
+	}
+	if run("fig4") {
+		fatal(report.Fig4(w, class, axis))
+	}
+	if run("fig5") {
+		fatal(report.Fig5(w, class, axis))
+	}
+	if run("extensions") {
+		fatal(report.FigExtensions(w, class, axis))
+	}
+	if run("cutoffdepth") {
+		fatal(report.AblationCutoffDepth(w, class, 8, nil))
+	}
+	if run("policy") {
+		fatal(report.AblationPolicy(w, class, axis))
+	}
+	if run("threadswitch") {
+		fatal(report.AblationThreadSwitch(w, class, axis))
+	}
+	if run("queuearch") {
+		fatal(report.AblationQueueArch(w, class, axis))
+	}
+	if run("generators") {
+		fatal(report.AblationGenerators(w, class, axis))
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "botsreport:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,129 @@
+// Command botstrace records, analyzes and replays task-graph traces
+// of the BOTS benchmarks.
+//
+//	botstrace -bench sort -class small -o sort.trace      # record
+//	botstrace -analyze sort.trace                         # work/span profile
+//	botstrace -simulate sort.trace -threads 16            # virtual replay
+//	botstrace -bench fib -version none-tied -analyze -    # record + analyze
+//
+// The work/span analysis (total work W, critical path S, average
+// parallelism W/S) explains the scaling ceilings in the paper's
+// Figure 3 before any scheduler enters the picture: a benchmark can
+// never speed up beyond W/S.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	_ "bots/internal/apps/all"
+	"bots/internal/core"
+	"bots/internal/sim"
+	"bots/internal/trace"
+)
+
+func main() {
+	var (
+		bench     = flag.String("bench", "", "benchmark to record")
+		className = flag.String("class", "small", "input class for -bench")
+		version   = flag.String("version", "", "version (default: best)")
+		record    = flag.Int("record-threads", 1, "team size for the recording run")
+		out       = flag.String("o", "", "write the recorded trace to this file")
+		analyze   = flag.String("analyze", "", "analyze a trace file ('-' with -bench: analyze the fresh recording)")
+		simulate  = flag.String("simulate", "", "simulate a trace file ('-' with -bench: the fresh recording)")
+		threads   = flag.Int("threads", 0, "virtual threads for -simulate (default: trace roots)")
+		gantt     = flag.Bool("gantt", false, "with -simulate: render an ASCII Gantt chart of the schedule")
+		chrome    = flag.String("chrome", "", "with -simulate: write a Chrome trace-event JSON file of the schedule")
+	)
+	flag.Parse()
+
+	var tr *trace.Trace
+	unitNS := 10.0 // default work-unit cost when simulating a bare file
+	if *bench != "" {
+		b, err := core.Get(*bench)
+		fatal(err)
+		class, err := core.ParseClass(*className)
+		fatal(err)
+		v := *version
+		if v == "" {
+			v = b.BestVersion
+		}
+		seq, err := b.Seq(class)
+		fatal(err)
+		if seq.Work > 0 {
+			unitNS = float64(seq.Elapsed.Nanoseconds()) / float64(seq.Work)
+		}
+		rec := trace.NewRecorder()
+		res, err := b.Run(core.RunConfig{
+			Class: class, Version: v, Threads: *record, Recorder: rec,
+		})
+		fatal(err)
+		tr = rec.Finish()
+		fatal(tr.Validate())
+		fmt.Printf("recorded %s/%s (%s class, %d-thread team): %d tasks, %v\n",
+			*bench, v, class, *record, tr.NumTasks(), res.Elapsed)
+		if *out != "" {
+			f, err := os.Create(*out)
+			fatal(err)
+			n, err := tr.WriteTo(f)
+			fatal(err)
+			fatal(f.Close())
+			fmt.Printf("wrote %s (%d bytes, %.1f B/task)\n", *out, n, float64(n)/float64(len(tr.Tasks)))
+		}
+	}
+
+	load := func(path string) *trace.Trace {
+		if path == "-" {
+			if tr == nil {
+				fatal(fmt.Errorf("'-' requires -bench to record a trace first"))
+			}
+			return tr
+		}
+		f, err := os.Open(path)
+		fatal(err)
+		defer f.Close()
+		t, err := trace.ReadTrace(f)
+		fatal(err)
+		return t
+	}
+
+	if *analyze != "" {
+		t := load(*analyze)
+		fmt.Printf("\n%s", trace.Analyze(t))
+	}
+	if *simulate != "" {
+		t := load(*simulate)
+		n := *threads
+		if n == 0 {
+			n = t.NumRoots
+		}
+		p := sim.DefaultOverheads()
+		p.WorkUnitNS = unitNS
+		res, tl, err := sim.RunWithTimeline(t, n, p)
+		fatal(err)
+		fmt.Printf("\nsimulated: %s (utilization %.0f%%)\n", res, 100*tl.Utilization())
+		if *gantt {
+			fmt.Println()
+			tl.WriteGantt(os.Stdout, 100)
+		}
+		if *chrome != "" {
+			f, err := os.Create(*chrome)
+			fatal(err)
+			fatal(tl.WriteChromeTrace(f, t))
+			fatal(f.Close())
+			fmt.Printf("wrote %s (open in chrome://tracing or ui.perfetto.dev)\n", *chrome)
+		}
+	}
+	if *bench == "" && *analyze == "" && *simulate == "" {
+		fmt.Fprintln(os.Stderr, "botstrace: nothing to do; see -h")
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "botstrace:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,140 @@
+// Custominput example: run the Floorplan kernel on your own cell set.
+// Without arguments it writes a sample cell file, reads it back, and
+// solves it sequentially and with the task runtime — demonstrating
+// the BOTS-style input-file formats in internal/inputs and the public
+// application APIs on user-provided data.
+//
+//	go run ./examples/custominput                 # built-in sample
+//	go run ./examples/custominput -cells my.dat   # your cells
+//	go run ./examples/custominput -dump out.dat   # write a sample file to edit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"bots/internal/inputs"
+	"bots/internal/omp"
+)
+
+// exploreState is the floorplan search state for this example: the
+// same branch-and-bound structure as internal/apps/floorplan, written
+// against the public omp API to show what user code looks like.
+type rect struct{ x, y, w, h int }
+
+type node struct {
+	placed []rect
+	w, h   int
+}
+
+func fits(placed []rect, r rect) bool {
+	for _, p := range placed {
+		if p.x < r.x+r.w && r.x < p.x+p.w && p.y < r.y+r.h && r.y < p.y+p.h {
+			return false
+		}
+	}
+	return true
+}
+
+func solve(c *omp.Context, cells []inputs.Cell, s node, idx, cutoff int, best *omp.ThreadPrivate[int64], globalBest *int64, critical func(func())) {
+	if idx == len(cells) {
+		area := int64(s.w) * int64(s.h)
+		critical(func() {
+			if area < *globalBest {
+				*globalBest = area
+			}
+		})
+		return
+	}
+	var cand [][2]int
+	if len(s.placed) == 0 {
+		cand = [][2]int{{0, 0}}
+	} else {
+		for _, p := range s.placed {
+			cand = append(cand, [2]int{p.x + p.w, p.y}, [2]int{p.x, p.y + p.h})
+		}
+	}
+	for _, alt := range cells[idx].Alts {
+		for _, pos := range cand {
+			r := rect{pos[0], pos[1], alt[0], alt[1]}
+			if !fits(s.placed, r) {
+				continue
+			}
+			nw, nh := s.w, s.h
+			if r.x+r.w > nw {
+				nw = r.x + r.w
+			}
+			if r.y+r.h > nh {
+				nh = r.y + r.h
+			}
+			var cur int64
+			critical(func() { cur = *globalBest })
+			if int64(nw)*int64(nh) >= cur {
+				continue
+			}
+			child := node{placed: append(append([]rect{}, s.placed...), r), w: nw, h: nh}
+			if idx < cutoff {
+				c.Task(func(c *omp.Context) {
+					solve(c, cells, child, idx+1, cutoff, best, globalBest, critical)
+				})
+			} else {
+				solve(c, cells, child, idx+1, cutoff, best, globalBest, critical)
+			}
+		}
+	}
+	c.Taskwait()
+}
+
+func main() {
+	cellsPath := flag.String("cells", "", "floorplan cell file (AKM-style format)")
+	dump := flag.String("dump", "", "write a sample cell file and exit")
+	threads := flag.Int("threads", 4, "team size")
+	flag.Parse()
+
+	if *dump != "" {
+		f, err := os.Create(*dump)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := inputs.WriteFloorplanCells(f, inputs.FloorplanCells(8, 5, 2024)); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s — edit it and rerun with -cells %s\n", *dump, *dump)
+		return
+	}
+
+	var cells []inputs.Cell
+	if *cellsPath != "" {
+		f, err := os.Open(*cellsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cells, err = inputs.ReadFloorplanCells(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("loaded %d cells from %s\n", len(cells), *cellsPath)
+	} else {
+		cells = inputs.FloorplanCells(8, 5, 2024)
+		fmt.Printf("using built-in sample (%d cells); -dump writes it to a file\n", len(cells))
+	}
+
+	best := int64(1) << 62
+	tp := omp.NewThreadPrivate[int64](*threads)
+	start := time.Now()
+	st := omp.Parallel(*threads, func(c *omp.Context) {
+		critical := func(body func()) { c.Critical("best", body) }
+		c.Single(func(c *omp.Context) {
+			solve(c, cells, node{}, 0, 3, tp, &best, critical)
+		})
+	})
+	fmt.Printf("minimal bounding area: %d (found in %v)\n", best, time.Since(start))
+	fmt.Printf("runtime stats: %s\n", st)
+}

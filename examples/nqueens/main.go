@@ -1,0 +1,68 @@
+// NQueens example: the paper's cut-off study (Figure 4) on your own
+// machine — run the same search under the manual, if-clause, and
+// no-cut-off task-creation disciplines and compare task counts,
+// undeferred tasks, and steal/park behaviour, then simulate the
+// recorded task graphs on a 16-thread virtual machine.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	_ "bots/internal/apps/all"
+	"bots/internal/core"
+	"bots/internal/omp"
+	"bots/internal/sim"
+	"bots/internal/trace"
+)
+
+func main() {
+	className := flag.String("class", "test", "input class")
+	threads := flag.Int("threads", 4, "real team size")
+	virtual := flag.Int("virtual", 16, "simulated thread count")
+	flag.Parse()
+
+	class, err := core.ParseClass(*className)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := core.Get("nqueens")
+	if err != nil {
+		log.Fatal(err)
+	}
+	seq, err := b.Seq(class)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sequential: %s in %v\n\n", seq.Digest, seq.Elapsed)
+
+	for _, version := range []string{"manual-untied", "if-untied", "none-untied"} {
+		var rt omp.CutoffPolicy
+		if version == "none-untied" {
+			rt = omp.MaxTasks{} // what a 2009 runtime would do on its own
+		}
+		rec := trace.NewRecorder()
+		res, err := b.Run(core.RunConfig{
+			Class: class, Version: version, Threads: *virtual,
+			RuntimeCutoff: rt, Recorder: rec,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := b.Check(seq, res); err != nil {
+			log.Fatal(err)
+		}
+		tr := rec.Finish()
+		p := sim.DefaultOverheads()
+		p.WorkUnitNS = float64(seq.Elapsed.Nanoseconds()) / float64(seq.Work)
+		r, err := sim.Run(tr, *virtual, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-13s tasks=%-8d undeferred=%-8d simulated(%dT): speedup=%.2f steals=%d\n",
+			version, res.Stats.TasksCreated, res.Stats.TasksUndeferred,
+			*virtual, r.Speedup, r.Steals)
+	}
+	_ = threads
+}

@@ -1,0 +1,15 @@
+package alignment
+
+import (
+	"testing"
+
+	"bots/internal/inputs"
+)
+
+func BenchmarkScorePair(b *testing.B) {
+	seqs := inputs.Proteins(2, 200, 200, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Score(seqs[0], seqs[1])
+	}
+}

@@ -1,0 +1,18 @@
+// Package all registers every BOTS benchmark with the core registry.
+// Import it for side effects from binaries, benches and integration
+// tests that need the full suite.
+package all
+
+import (
+	_ "bots/internal/apps/alignment"
+	_ "bots/internal/apps/fft"
+	_ "bots/internal/apps/fib"
+	_ "bots/internal/apps/floorplan"
+	_ "bots/internal/apps/health"
+	_ "bots/internal/apps/knapsack"
+	_ "bots/internal/apps/nqueens"
+	_ "bots/internal/apps/sort"
+	_ "bots/internal/apps/sparselu"
+	_ "bots/internal/apps/strassen"
+	_ "bots/internal/apps/uts"
+)

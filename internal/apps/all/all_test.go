@@ -1,0 +1,127 @@
+package all
+
+import (
+	"testing"
+
+	"bots/internal/core"
+)
+
+// TestSuiteComplete checks the registry holds exactly the nine BOTS
+// paper applications plus the two post-paper extensions, with
+// coherent metadata.
+func TestSuiteComplete(t *testing.T) {
+	wantPaper := []string{
+		"alignment", "fft", "fib", "floorplan", "health",
+		"nqueens", "sort", "sparselu", "strassen",
+	}
+	paper := core.Paper()
+	if len(paper) != len(wantPaper) {
+		t.Fatalf("paper set has %d benchmarks, want %d", len(paper), len(wantPaper))
+	}
+	for i, b := range paper {
+		if b.Name != wantPaper[i] {
+			t.Fatalf("paper benchmark %d = %q, want %q", i, b.Name, wantPaper[i])
+		}
+	}
+	ext := core.Extensions()
+	if len(ext) != 2 || ext[0].Name != "knapsack" || ext[1].Name != "uts" {
+		t.Fatalf("extensions = %v, want [knapsack uts]", names(ext))
+	}
+	want := []string{
+		"alignment", "fft", "fib", "floorplan", "health", "knapsack",
+		"nqueens", "sort", "sparselu", "strassen", "uts",
+	}
+	got := core.All()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d benchmarks, want %d", len(got), len(want))
+	}
+	for i, b := range got {
+		if b.Name != want[i] {
+			t.Fatalf("benchmark %d = %q, want %q", i, b.Name, want[i])
+		}
+		if b.Domain == "" || b.Structure == "" || b.TasksInside == "" || b.AppCutoff == "" {
+			t.Errorf("%s: incomplete Table I metadata", b.Name)
+		}
+		if b.TaskDirectives <= 0 {
+			t.Errorf("%s: TaskDirectives = %d", b.Name, b.TaskDirectives)
+		}
+		if !b.HasVersion(b.BestVersion) {
+			t.Errorf("%s: best version %q not in version list", b.Name, b.BestVersion)
+		}
+		for _, v := range b.Versions {
+			if _, err := core.ParseVersion(v); err != nil {
+				t.Errorf("%s: unparseable version %q: %v", b.Name, v, err)
+			}
+		}
+		if b.Profile.MemFraction < 0 || b.Profile.MemFraction > 1 {
+			t.Errorf("%s: MemFraction %v out of [0,1]", b.Name, b.Profile.MemFraction)
+		}
+	}
+}
+
+func names(bs []*core.Benchmark) []string {
+	var out []string
+	for _, b := range bs {
+		out = append(out, b.Name)
+	}
+	return out
+}
+
+// TestEveryBenchmarkEveryClassSeq smoke-runs the sequential reference
+// of every benchmark on the test class.
+func TestEveryBenchmarkEveryClassSeq(t *testing.T) {
+	for _, b := range core.All() {
+		seq, err := b.Seq(core.Test)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if seq.Digest == "" || seq.Work <= 0 {
+			t.Fatalf("%s: empty sequential result %+v", b.Name, seq)
+		}
+		if seq.MemBytes <= 0 {
+			t.Errorf("%s: MemBytes not estimated", b.Name)
+		}
+	}
+}
+
+// TestIntegrationBestVersions runs every benchmark's best version on
+// 1 and 4 threads on the test class and verifies against the
+// sequential reference — the suite's core self-verification loop.
+func TestIntegrationBestVersions(t *testing.T) {
+	for _, b := range core.All() {
+		seq, err := b.Seq(core.Test)
+		if err != nil {
+			t.Fatalf("%s seq: %v", b.Name, err)
+		}
+		for _, threads := range []int{1, 4} {
+			res, err := b.Run(core.RunConfig{Class: core.Test, Version: b.BestVersion, Threads: threads})
+			if err != nil {
+				t.Fatalf("%s/%s/%d: %v", b.Name, b.BestVersion, threads, err)
+			}
+			if err := b.Check(seq, res); err != nil {
+				t.Fatalf("%s/%s/%d: %v", b.Name, b.BestVersion, threads, err)
+			}
+		}
+	}
+}
+
+// TestSmallClassIntegration exercises the small class end-to-end on
+// the best versions (slower; skipped in -short).
+func TestSmallClassIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, b := range core.All() {
+		seq, err := b.Seq(core.Small)
+		if err != nil {
+			t.Fatalf("%s seq: %v", b.Name, err)
+		}
+		res, err := b.Run(core.RunConfig{Class: core.Small, Version: b.BestVersion, Threads: 4})
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if err := b.Check(seq, res); err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+	}
+}

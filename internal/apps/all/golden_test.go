@@ -1,0 +1,49 @@
+package all
+
+import (
+	"testing"
+
+	"bots/internal/core"
+)
+
+// goldenDigests pins the sequential test-class digest of every
+// benchmark. The suite's inputs and algorithms are fully
+// deterministic (seeded generators, fixed decompositions), so any
+// change here means an algorithmic change — intended ones must update
+// the table consciously; unintended ones are regressions that plain
+// verification (parallel-vs-sequential) cannot catch because both
+// sides drift together.
+var goldenDigests = map[string]string{
+	"alignment": "dd2922c3b939934a",
+	"fft":       "e0d3cf434ddc37f1",
+	"fib":       "fib(16)=987",
+	"floorplan": "minarea=108",
+	"health":    "patients=537 treated=338 wait=676 hospitals=399 open=106/52/41",
+	"knapsack":  "knapsack-best=561",
+	"nqueens":   "nqueens(8)=92",
+	"sort":      "f772d5f21614d924",
+	"sparselu":  "d43efa975f3cf08c",
+	"strassen":  "242fc96166732c80",
+	"uts":       "uts-nodes=905",
+}
+
+func TestGoldenDigests(t *testing.T) {
+	bs := core.All()
+	if len(bs) != len(goldenDigests) {
+		t.Fatalf("registry has %d benchmarks, golden table has %d", len(bs), len(goldenDigests))
+	}
+	for _, b := range bs {
+		want, ok := goldenDigests[b.Name]
+		if !ok {
+			t.Errorf("%s: missing golden digest", b.Name)
+			continue
+		}
+		seq, err := b.Seq(core.Test)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if seq.Digest != want {
+			t.Errorf("%s: digest drifted:\n got %s\nwant %s", b.Name, seq.Digest, want)
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package fft
+
+import (
+	"testing"
+
+	"bots/internal/inputs"
+)
+
+func BenchmarkSeqFFT(b *testing.B) {
+	for _, n := range []int{1 << 10, 1 << 14} {
+		src := inputs.ComplexVector(n, 1)
+		b.Run(byteSize(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Seq(src)
+			}
+		})
+	}
+}
+
+func byteSize(n int) string {
+	switch n {
+	case 1 << 10:
+		return "1K"
+	case 1 << 14:
+		return "16K"
+	}
+	return "n"
+}

@@ -1,0 +1,15 @@
+package fib
+
+import "testing"
+
+func BenchmarkSeqFib25(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Seq(25)
+	}
+}
+
+func BenchmarkIterative(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Iterative(90)
+	}
+}

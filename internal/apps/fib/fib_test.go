@@ -1,0 +1,154 @@
+package fib
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bots/internal/core"
+	"bots/internal/omp"
+)
+
+func TestIterativeKnownValues(t *testing.T) {
+	known := map[int]uint64{0: 0, 1: 1, 2: 1, 10: 55, 20: 6765, 30: 832040, 50: 12586269025}
+	for n, want := range known {
+		if got := Iterative(n); got != want {
+			t.Errorf("Iterative(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestSeqMatchesIterative(t *testing.T) {
+	for n := 0; n <= 25; n++ {
+		v, calls := Seq(n)
+		if v != Iterative(n) {
+			t.Fatalf("Seq(%d) = %d, want %d", n, v, Iterative(n))
+		}
+		if calls < 1 {
+			t.Fatalf("Seq(%d) reported %d calls", n, calls)
+		}
+	}
+}
+
+func TestSeqCallCountRecurrence(t *testing.T) {
+	// calls(n) = calls(n-1) + calls(n-2) + 1
+	f := func(raw uint8) bool {
+		n := int(raw%20) + 2
+		_, c := Seq(n)
+		_, c1 := Seq(n - 1)
+		_, c2 := Seq(n - 2)
+		return c == c1+c2+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllVersionsVerify(t *testing.T) {
+	b, err := core.Get("fib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := b.Seq(core.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, version := range b.Versions {
+		for _, threads := range []int{1, 4} {
+			res, err := b.Run(core.RunConfig{
+				Class: core.Test, Version: version, Threads: threads,
+			})
+			if err != nil {
+				t.Fatalf("%s/%d threads: %v", version, threads, err)
+			}
+			if err := b.Check(seq, res); err != nil {
+				t.Fatalf("%s/%d threads: %v", version, threads, err)
+			}
+		}
+	}
+}
+
+func TestManualCutoffCreatesFewerTasks(t *testing.T) {
+	b, _ := core.Get("fib")
+	run := func(version string) *core.RunResult {
+		r, err := b.Run(core.RunConfig{Class: core.Test, Version: version, Threads: 2, CutoffDepth: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	manual := run("manual-tied")
+	ifv := run("if-tied")
+	none := run("none-tied")
+	if manual.Stats.TotalTasks() >= none.Stats.TotalTasks() {
+		t.Fatalf("manual cut-off tasks (%d) should be far below no-cutoff (%d)",
+			manual.Stats.TotalTasks(), none.Stats.TotalTasks())
+	}
+	// The if-clause version still *creates* (undeferred) tasks below
+	// the cut-off, so it must report more total tasks than manual.
+	if ifv.Stats.TotalTasks() <= manual.Stats.TotalTasks() {
+		t.Fatalf("if-clause tasks (%d) should exceed manual tasks (%d)",
+			ifv.Stats.TotalTasks(), manual.Stats.TotalTasks())
+	}
+	if ifv.Stats.TasksUndeferred == 0 {
+		t.Fatal("if-clause version should have undeferred tasks")
+	}
+	if none.Stats.TasksUndeferred != 0 {
+		t.Fatal("no-cutoff version should not undefer anything")
+	}
+}
+
+func TestCutoffDepthOverride(t *testing.T) {
+	b, _ := core.Get("fib")
+	shallow, err := b.Run(core.RunConfig{Class: core.Test, Version: "manual-tied", Threads: 2, CutoffDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deep, err := b.Run(core.RunConfig{Class: core.Test, Version: "manual-tied", Threads: 2, CutoffDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shallow.Stats.TotalTasks() >= deep.Stats.TotalTasks() {
+		t.Fatalf("deeper cut-off should create more tasks: depth2=%d depth8=%d",
+			shallow.Stats.TotalTasks(), deep.Stats.TotalTasks())
+	}
+}
+
+func TestWorkAccountingMatchesSeq(t *testing.T) {
+	// The no-cutoff parallel version must report exactly the serial
+	// call count as work units (work-unit parity is what makes the
+	// simulator calibration sound).
+	b, _ := core.Get("fib")
+	seq, err := b.Seq(core.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Run(core.RunConfig{Class: core.Test, Version: "none-tied", Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.WorkUnits != seq.Work {
+		t.Fatalf("parallel work units %d != sequential %d", res.Stats.WorkUnits, seq.Work)
+	}
+	// And the manual version folds the same total work into fewer tasks.
+	man, err := b.Run(core.RunConfig{Class: core.Test, Version: "manual-untied", Threads: 2, CutoffDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Stats.WorkUnits != seq.Work {
+		t.Fatalf("manual version work units %d != sequential %d", man.Stats.WorkUnits, seq.Work)
+	}
+}
+
+func TestRuntimeCutoffInteraction(t *testing.T) {
+	b, _ := core.Get("fib")
+	res, err := b.Run(core.RunConfig{
+		Class: core.Test, Version: "none-tied", Threads: 2,
+		RuntimeCutoff: omp.MaxTasks{Limit: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.TasksUndeferred == 0 {
+		t.Fatal("runtime MaxTasks cut-off should undefer tasks in the no-cutoff version")
+	}
+}

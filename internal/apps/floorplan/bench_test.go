@@ -1,0 +1,15 @@
+package floorplan
+
+import (
+	"testing"
+
+	"bots/internal/inputs"
+)
+
+func BenchmarkSeqSearch(b *testing.B) {
+	cells := inputs.FloorplanCells(7, 6, inputSeed)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Seq(cells)
+	}
+}

@@ -1,0 +1,137 @@
+package health
+
+import (
+	"strings"
+	"testing"
+
+	"bots/internal/core"
+)
+
+func TestBuildHierarchyShape(t *testing.T) {
+	v := Build(params{levels: 3, branching: 4, steps: 1})
+	if got, want := v.CountVillages(), 1+4+16; got != want {
+		t.Fatalf("villages = %d, want %d", got, want)
+	}
+	if !v.isRoot {
+		t.Fatal("root must be marked isRoot")
+	}
+	if v.level != 2 {
+		t.Fatalf("root level = %d, want 2", v.level)
+	}
+	for _, c := range v.children {
+		if c.isRoot {
+			t.Fatal("child marked as root")
+		}
+		if c.level != 1 {
+			t.Fatalf("child level = %d, want 1", c.level)
+		}
+	}
+}
+
+func TestSimulationIsDeterministic(t *testing.T) {
+	run := func() string {
+		v := Build(classParams[core.Test])
+		for i := 0; i < 20; i++ {
+			seqSim(v)
+		}
+		return digest(v)
+	}
+	if run() != run() {
+		t.Fatal("sequential simulation not deterministic")
+	}
+}
+
+func TestPatientsFlowThroughSystem(t *testing.T) {
+	v := Build(classParams[core.Test])
+	for i := 0; i < 50; i++ {
+		seqSim(v)
+	}
+	d := digest(v)
+	if strings.Contains(d, "patients=0") {
+		t.Fatalf("no patients generated after 50 steps: %s", d)
+	}
+	if strings.Contains(d, "treated=0") {
+		t.Fatalf("no patients treated after 50 steps: %s", d)
+	}
+	if strings.Contains(d, "hospitals=0") {
+		t.Fatalf("hospital-visit statistics empty: %s", d)
+	}
+}
+
+func TestReallocationClimbsLevels(t *testing.T) {
+	// After enough steps, some patient must have visited more than
+	// one hospital: totalHospitals > totalTreated.
+	v := Build(params{levels: 3, branching: 4, steps: 0})
+	var sawRealloc bool
+	for i := 0; i < 80 && !sawRealloc; i++ {
+		seqSim(v)
+		var s stats
+		collect(v, &s)
+		if s.Hospitals > s.Treated && s.Treated > 0 {
+			sawRealloc = true
+		}
+	}
+	if !sawRealloc {
+		t.Fatal("no patient was ever referred to an upper-level hospital")
+	}
+}
+
+func TestAllVersionsMatchSequential(t *testing.T) {
+	b, err := core.Get("health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := b.Seq(core.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, version := range b.Versions {
+		for _, threads := range []int{1, 4} {
+			res, err := b.Run(core.RunConfig{Class: core.Test, Version: version, Threads: threads})
+			if err != nil {
+				t.Fatalf("%s/%d: %v", version, threads, err)
+			}
+			// Per-village RNG seeding makes parallel == sequential.
+			if err := b.Check(seq, res); err != nil {
+				t.Fatalf("%s/%d: %v", version, threads, err)
+			}
+		}
+	}
+}
+
+func TestWorkParity(t *testing.T) {
+	b, _ := core.Get("health")
+	seq, err := b.Seq(core.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []string{"none-tied", "manual-untied"} {
+		res, err := b.Run(core.RunConfig{Class: core.Test, Version: v, Threads: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.WorkUnits != seq.Work {
+			t.Fatalf("%s: work %d != sequential %d", v, res.Stats.WorkUnits, seq.Work)
+		}
+	}
+}
+
+func TestLevelCutoffBoundsTasks(t *testing.T) {
+	b, _ := core.Get("health")
+	// With cut-off level above the root, the manual version should
+	// create almost no tasks.
+	res, err := b.Run(core.RunConfig{Class: core.Test, Version: "manual-tied", Threads: 2, CutoffDepth: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.TotalTasks() != 0 {
+		t.Fatalf("cut-off above root should yield 0 tasks, got %d", res.Stats.TotalTasks())
+	}
+	all, err := b.Run(core.RunConfig{Class: core.Test, Version: "none-tied", Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.Stats.TotalTasks() == 0 {
+		t.Fatal("no-cutoff version should create tasks")
+	}
+}

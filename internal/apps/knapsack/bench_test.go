@@ -1,0 +1,19 @@
+package knapsack
+
+import "testing"
+
+func BenchmarkSeqBranchAndBound(b *testing.B) {
+	items, capacity := GenItems(22, inputSeed)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Seq(items, capacity)
+	}
+}
+
+func BenchmarkSeqDP(b *testing.B) {
+	items, capacity := GenItems(22, inputSeed)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SeqDP(items, capacity)
+	}
+}

@@ -1,0 +1,91 @@
+package knapsack
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bots/internal/core"
+)
+
+func TestBranchAndBoundMatchesDP(t *testing.T) {
+	f := func(seed uint16) bool {
+		items, capacity := GenItems(14, uint64(seed)+1)
+		bb, _ := Seq(items, capacity)
+		return bb == SeqDP(items, capacity)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundIsAdmissible(t *testing.T) {
+	// The fractional bound must never underestimate the best integral
+	// completion: check at the root for many instances.
+	f := func(seed uint16) bool {
+		items, capacity := GenItems(12, uint64(seed)+3)
+		opt := SeqDP(items, capacity)
+		return bound(items, 0, capacity, 0, 0) >= float64(opt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestItemsSortedByDensity(t *testing.T) {
+	items, _ := GenItems(40, 5)
+	for i := 1; i < len(items); i++ {
+		// density[i-1] >= density[i] (cross-multiplied)
+		if items[i-1].Value*items[i].Weight < items[i].Value*items[i-1].Weight {
+			t.Fatalf("items not sorted by value density at %d", i)
+		}
+	}
+}
+
+func TestPruningHappens(t *testing.T) {
+	items, capacity := GenItems(22, 9)
+	_, nodes := Seq(items, capacity)
+	if nodes >= 1<<22 {
+		t.Fatalf("visited %d nodes of a 2^22-node tree: pruning is not working", nodes)
+	}
+}
+
+func TestAllVersionsFindOptimum(t *testing.T) {
+	b, err := core.Get("knapsack")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := b.Seq(core.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, version := range b.Versions {
+		for _, threads := range []int{1, 4} {
+			res, err := b.Run(core.RunConfig{Class: core.Test, Version: version, Threads: threads})
+			if err != nil {
+				t.Fatalf("%s/%d: %v", version, threads, err)
+			}
+			if err := b.Check(seq, res); err != nil {
+				t.Fatalf("%s/%d: %v", version, threads, err)
+			}
+		}
+	}
+}
+
+func TestZeroCapacity(t *testing.T) {
+	items := []Item{{10, 5}, {3, 8}}
+	best, _ := Seq(items, 0)
+	if best != 0 {
+		t.Fatalf("zero capacity best = %d, want 0", best)
+	}
+	if SeqDP(items, 0) != 0 {
+		t.Fatal("DP zero capacity should be 0")
+	}
+}
+
+func TestSingleItemFits(t *testing.T) {
+	items := []Item{{5, 7}}
+	best, _ := Seq(items, 5)
+	if best != 7 {
+		t.Fatalf("best = %d, want 7", best)
+	}
+}

@@ -1,0 +1,9 @@
+package nqueens
+
+import "testing"
+
+func BenchmarkSeq10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Seq(10)
+	}
+}

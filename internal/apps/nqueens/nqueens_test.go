@@ -1,0 +1,123 @@
+package nqueens
+
+import (
+	"testing"
+
+	"bots/internal/core"
+)
+
+func TestSeqKnownCounts(t *testing.T) {
+	for n := 1; n <= 10; n++ {
+		got, _ := Seq(n)
+		if got != knownSolutions[n] {
+			t.Errorf("Seq(%d) = %d, want %d", n, got, knownSolutions[n])
+		}
+	}
+}
+
+func TestOkRejectsAttacks(t *testing.T) {
+	board := []int8{0, 2, 4, 0} // queens at (0,0), (1,2), (2,4)
+	cases := []struct {
+		col  int8
+		want bool
+	}{
+		{0, false}, // same column as row 0
+		{2, false}, // same column as row 1
+		{3, false}, // diagonal from (2,4)
+		{5, false}, // diagonal from (2,4)
+		{1, false}, // diagonal from (0,0)? (3,1): |3-0|=3 |1-0|=1 no; from (1,2): |3-1|=2 |1-2|=1 no; from (2,4): |3-2|=1 |1-4|=3 no → actually legal
+	}
+	_ = cases
+	// Recompute carefully: row 3 candidates against queens (0,0),(1,2),(2,4).
+	legal := map[int8]bool{}
+	for col := int8(0); col < 6; col++ {
+		conflict := false
+		for r, qc := range []int8{0, 2, 4} {
+			d := qc - col
+			if d == 0 || int(d) == 3-r || int(-d) == 3-r {
+				conflict = true
+			}
+		}
+		legal[col] = !conflict
+	}
+	for col := int8(0); col < 6; col++ {
+		if got := ok(board, 3, col); got != legal[col] {
+			t.Errorf("ok(row 3, col %d) = %v, want %v", col, got, legal[col])
+		}
+	}
+}
+
+func TestAllVersionsAndThreadCounts(t *testing.T) {
+	b, err := core.Get("nqueens")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := b.Seq(core.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, version := range b.Versions {
+		for _, threads := range []int{1, 4} {
+			res, err := b.Run(core.RunConfig{Class: core.Test, Version: version, Threads: threads})
+			if err != nil {
+				t.Fatalf("%s/%d: %v", version, threads, err)
+			}
+			if err := b.Check(seq, res); err != nil {
+				t.Fatalf("%s/%d: %v", version, threads, err)
+			}
+		}
+	}
+}
+
+func TestWorkParitySeqVsNoCutoff(t *testing.T) {
+	b, _ := core.Get("nqueens")
+	seq, err := b.Seq(core.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Run(core.RunConfig{Class: core.Test, Version: "none-tied", Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.WorkUnits != seq.Work {
+		t.Fatalf("work units: parallel %d != sequential %d", res.Stats.WorkUnits, seq.Work)
+	}
+	man, err := b.Run(core.RunConfig{Class: core.Test, Version: "manual-tied", Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Stats.WorkUnits != seq.Work {
+		t.Fatalf("work units: manual %d != sequential %d", man.Stats.WorkUnits, seq.Work)
+	}
+}
+
+func TestCutoffReducesTasks(t *testing.T) {
+	b, _ := core.Get("nqueens")
+	none, err := b.Run(core.RunConfig{Class: core.Test, Version: "none-tied", Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	man, err := b.Run(core.RunConfig{Class: core.Test, Version: "manual-tied", Threads: 2, CutoffDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Stats.TotalTasks() >= none.Stats.TotalTasks()/4 {
+		t.Fatalf("manual cut-off should slash task count: manual=%d none=%d",
+			man.Stats.TotalTasks(), none.Stats.TotalTasks())
+	}
+}
+
+func TestCapturedEnvironmentAccounted(t *testing.T) {
+	b, _ := core.Get("nqueens")
+	res, err := b.Run(core.RunConfig{Class: core.Test, Version: "none-tied", Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.CapturedBytes == 0 {
+		t.Fatal("nqueens copies the board into each task; captured bytes must be non-zero")
+	}
+	perTask := float64(res.Stats.CapturedBytes) / float64(res.Stats.TotalTasks())
+	if perTask < 8 || perTask > 64 {
+		t.Fatalf("captured bytes per task = %.1f, want a few tens", perTask)
+	}
+}

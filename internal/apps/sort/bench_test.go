@@ -1,0 +1,39 @@
+package sort
+
+import (
+	"testing"
+
+	"bots/internal/inputs"
+)
+
+func BenchmarkSeqQuick(b *testing.B) {
+	src := inputs.Ints32(1<<16, 1)
+	buf := make([]int32, len(src))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, src)
+		seqQuick(buf)
+	}
+}
+
+func BenchmarkSeqMerge(b *testing.B) {
+	x := inputs.Ints32(1<<15, 2)
+	y := inputs.Ints32(1<<15, 3)
+	seqQuick(x)
+	seqQuick(y)
+	dest := make([]int32, len(x)+len(y))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seqMerge(x, y, dest)
+	}
+}
+
+func BenchmarkInsertionSort(b *testing.B) {
+	src := inputs.Ints32(insertionThreshold, 4)
+	buf := make([]int32, len(src))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, src)
+		insertionSort(buf)
+	}
+}

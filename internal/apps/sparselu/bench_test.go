@@ -1,0 +1,43 @@
+package sparselu
+
+import "testing"
+
+func BenchmarkKernels(b *testing.B) {
+	const bs = 64
+	m := NewMatrix(2, bs)
+	diag := append([]float64(nil), m.at(0, 0)...)
+	lu0(diag, bs)
+	// Off-diagonal blocks may be absent in the sparse pattern;
+	// materialize them for the kernel benchmarks.
+	row := append([]float64(nil), m.allocIfNeeded(0, 1)...)
+	col := append([]float64(nil), m.allocIfNeeded(1, 0)...)
+	inner := make([]float64, bs*bs)
+	b.Run("lu0", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			d := append([]float64(nil), m.at(0, 0)...)
+			lu0(d, bs)
+		}
+	})
+	b.Run("fwd", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fwd(diag, row, bs)
+		}
+	})
+	b.Run("bdiv", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bdiv(diag, col, bs)
+		}
+	})
+	b.Run("bmod", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bmod(row, col, inner, bs)
+		}
+	})
+}
+
+func BenchmarkSeqFactorize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := NewMatrix(8, 32)
+		Seq(m)
+	}
+}

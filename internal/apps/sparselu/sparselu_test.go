@@ -1,0 +1,167 @@
+package sparselu
+
+import (
+	"math"
+	"testing"
+
+	"bots/internal/core"
+)
+
+// toDense expands the block matrix to a dense n×n matrix (nil blocks
+// are zero).
+func toDense(m *Matrix) []float64 {
+	n := m.NB * m.BS
+	out := make([]float64, n*n)
+	for bi := 0; bi < m.NB; bi++ {
+		for bj := 0; bj < m.NB; bj++ {
+			b := m.at(bi, bj)
+			if b == nil {
+				continue
+			}
+			for i := 0; i < m.BS; i++ {
+				for j := 0; j < m.BS; j++ {
+					out[(bi*m.BS+i)*n+(bj*m.BS+j)] = b[i*m.BS+j]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TestLUReconstruction checks that the factorization satisfies
+// L·U = A on the dense expansion: the definitive correctness check
+// for lu0/fwd/bdiv/bmod working together.
+func TestLUReconstruction(t *testing.T) {
+	m := NewMatrix(4, 8)
+	orig := toDense(m)
+	Seq(m)
+	fact := toDense(m)
+	n := m.NB * m.BS
+	// Extract L (unit lower) and U (upper) and multiply.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var sum float64
+			kmax := i
+			if j < i {
+				kmax = j
+			}
+			for k := 0; k <= kmax; k++ {
+				var l float64
+				if k == i {
+					l = 1
+				} else {
+					l = fact[i*n+k]
+				}
+				if k <= j {
+					sum += l * fact[k*n+j]
+				}
+			}
+			// A position can be nonzero in L·U only where the
+			// factorization placed values; compare against original.
+			if d := math.Abs(sum - orig[i*n+j]); d > 1e-6 {
+				t.Fatalf("L·U differs from A at (%d,%d): %v vs %v (Δ=%v)",
+					i, j, sum, orig[i*n+j], d)
+			}
+		}
+	}
+}
+
+func TestFillInHappens(t *testing.T) {
+	m := NewMatrix(8, 4)
+	var before int
+	for _, b := range m.Blocks {
+		if b != nil {
+			before++
+		}
+	}
+	Seq(m)
+	var after int
+	for _, b := range m.Blocks {
+		if b != nil {
+			after++
+		}
+	}
+	if after <= before {
+		t.Fatalf("expected fill-in: %d blocks before, %d after", before, after)
+	}
+	if before == len(m.Blocks) {
+		t.Fatal("input matrix should be sparse (have nil blocks)")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := NewMatrix(4, 4)
+	c := m.Clone()
+	m.Blocks[0][0] = 12345
+	if c.Blocks[0][0] == 12345 {
+		t.Fatal("Clone must deep-copy block data")
+	}
+}
+
+func TestAllGeneratorVersionsVerify(t *testing.T) {
+	b, err := core.Get("sparselu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := b.Seq(core.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, version := range b.Versions {
+		for _, threads := range []int{1, 4} {
+			res, err := b.Run(core.RunConfig{Class: core.Test, Version: version, Threads: threads})
+			if err != nil {
+				t.Fatalf("%s/%d: %v", version, threads, err)
+			}
+			if err := b.Check(seq, res); err != nil {
+				t.Fatalf("%s/%d: %v", version, threads, err)
+			}
+			if res.Stats.TotalTasks() == 0 {
+				t.Fatalf("%s/%d: no tasks created", version, threads)
+			}
+		}
+	}
+}
+
+func TestWorkParityAcrossGenerators(t *testing.T) {
+	b, _ := core.Get("sparselu")
+	seq, err := b.Seq(core.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []string{"single-tied", "for-untied"} {
+		res, err := b.Run(core.RunConfig{Class: core.Test, Version: v, Threads: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.WorkUnits != seq.Work {
+			t.Fatalf("%s: work %d != sequential %d", v, res.Stats.WorkUnits, seq.Work)
+		}
+	}
+}
+
+func TestImbalanceExists(t *testing.T) {
+	// The paper's premise: non-null blocks are unevenly distributed,
+	// so per-phase task counts vary. Sanity-check the input pattern.
+	m := NewMatrix(16, 4)
+	counts := make([]int, 16)
+	for i := 0; i < 16; i++ {
+		for j := 0; j < 16; j++ {
+			if m.at(i, j) != nil {
+				counts[i]++
+			}
+		}
+	}
+	min, max := counts[0], counts[0]
+	for _, c := range counts {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if min == max {
+		t.Fatalf("row occupancies are uniform (%d); expected imbalance", min)
+	}
+}

@@ -1,0 +1,28 @@
+package strassen
+
+import (
+	"testing"
+
+	"bots/internal/inputs"
+)
+
+func BenchmarkBaseMultiply(b *testing.B) {
+	n := baseSize
+	x := inputs.Matrix(n, 1)
+	y := inputs.Matrix(n, 2)
+	c := make([]float64, n*n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		zero(view{c, n}, n)
+		matmulAdd(view{c, n}, view{x, n}, view{y, n}, n)
+	}
+}
+
+func BenchmarkStrassenSeq256(b *testing.B) {
+	x := inputs.Matrix(256, 1)
+	y := inputs.Matrix(256, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Seq(x, y, 256)
+	}
+}

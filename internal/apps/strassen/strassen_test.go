@@ -1,0 +1,138 @@
+package strassen
+
+import (
+	"math"
+	"testing"
+
+	"bots/internal/core"
+	"bots/internal/inputs"
+)
+
+func TestSeqMatchesNaiveSmall(t *testing.T) {
+	// 128 recurses once (base 64), so the Strassen path is exercised.
+	for _, n := range []int{64, 128} {
+		a := inputs.Matrix(n, 1)
+		b := inputs.Matrix(n, 2)
+		got, _ := Seq(a, b, n)
+		want := Naive(a, b, n)
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-9*float64(n) {
+				t.Fatalf("n=%d: c[%d] = %v, naive %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestIdentityMultiplication(t *testing.T) {
+	n := 128
+	a := inputs.Matrix(n, 3)
+	id := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		id[i*n+i] = 1
+	}
+	c, _ := Seq(a, id, n)
+	for i := range a {
+		if math.Abs(c[i]-a[i]) > 1e-12 {
+			t.Fatalf("A·I diverges from A at %d: %v vs %v", i, c[i], a[i])
+		}
+	}
+}
+
+// TestFreivalds probabilistically verifies a large product: for
+// random vector x, A(Bx) must equal (AB)x.
+func TestFreivalds(t *testing.T) {
+	n := 256
+	a := inputs.Matrix(n, 4)
+	b := inputs.Matrix(n, 5)
+	c, _ := Seq(a, b, n)
+	r := inputs.NewRNG(99)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = r.Float64()
+	}
+	matVec := func(m []float64, v []float64) []float64 {
+		out := make([]float64, n)
+		for i := 0; i < n; i++ {
+			var s float64
+			row := m[i*n : i*n+n]
+			for j := 0; j < n; j++ {
+				s += row[j] * v[j]
+			}
+			out[i] = s
+		}
+		return out
+	}
+	bx := matVec(b, x)
+	abx := matVec(a, bx)
+	cx := matVec(c, x)
+	for i := range cx {
+		if math.Abs(cx[i]-abx[i]) > 1e-6*float64(n) {
+			t.Fatalf("Freivalds check failed at %d: %v vs %v", i, cx[i], abx[i])
+		}
+	}
+}
+
+func TestAllVersionsVerify(t *testing.T) {
+	bm, err := core.Get("strassen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := bm.Seq(core.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, version := range bm.Versions {
+		for _, threads := range []int{1, 4} {
+			res, err := bm.Run(core.RunConfig{Class: core.Test, Version: version, Threads: threads})
+			if err != nil {
+				t.Fatalf("%s/%d: %v", version, threads, err)
+			}
+			// Identical decomposition ⇒ bit-identical result.
+			if err := bm.Check(seq, res); err != nil {
+				t.Fatalf("%s/%d: %v", version, threads, err)
+			}
+		}
+	}
+}
+
+func TestWorkParity(t *testing.T) {
+	bm, _ := core.Get("strassen")
+	seq, err := bm.Seq(core.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []string{"none-tied", "manual-untied", "if-tied"} {
+		res, err := bm.Run(core.RunConfig{Class: core.Test, Version: v, Threads: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.WorkUnits != seq.Work {
+			t.Fatalf("%s: work units %d != sequential %d", v, res.Stats.WorkUnits, seq.Work)
+		}
+	}
+}
+
+func TestManualCutoffTaskCount(t *testing.T) {
+	bm, _ := core.Get("strassen")
+	man, err := bm.Run(core.RunConfig{Class: core.Test, Version: "manual-tied", Threads: 2, CutoffDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 128→64 is one level: cut-off 1 defers only the first level's 7 tasks.
+	if man.Stats.TotalTasks() != 7 {
+		t.Fatalf("tasks at cut-off depth 1 on 128 = %d, want 7", man.Stats.TotalTasks())
+	}
+}
+
+func TestViewSubIndexing(t *testing.T) {
+	n := 4
+	m := make([]float64, n*n)
+	for i := range m {
+		m[i] = float64(i)
+	}
+	v := view{m, n}
+	q := v.sub(2, 2)
+	if q.d[0] != float64(2*n+2) || q.d[q.ld+1] != float64(3*n+3) {
+		t.Fatalf("sub(2,2) wrong: %v %v", q.d[0], q.d[q.ld+1])
+	}
+}

@@ -1,0 +1,21 @@
+package uts
+
+import (
+	"testing"
+
+	"bots/internal/core"
+)
+
+func BenchmarkSeqTraversal(b *testing.B) {
+	p := classParams[core.Test]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Seq(p)
+	}
+}
+
+func BenchmarkVisitWork(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sinkGuard ^= visitWork(uint64(i), 150)
+	}
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"bots/internal/omp"
+)
+
+func stubBenchmark(name string) *Benchmark {
+	return &Benchmark{
+		Name:        name,
+		Origin:      "-",
+		Domain:      "test",
+		Structure:   "Iterative",
+		TasksInside: "single",
+		AppCutoff:   "none",
+		Versions:    []string{"tied", "untied"},
+		BestVersion: "tied",
+		Seq: func(class Class) (*SeqResult, error) {
+			return &SeqResult{Digest: "d", Work: 1, MemBytes: 1}, nil
+		},
+		Run: func(cfg RunConfig) (*RunResult, error) {
+			return &RunResult{Digest: "d", Stats: &omp.Stats{}}, nil
+		},
+	}
+}
+
+func TestClassParsingRoundTrip(t *testing.T) {
+	for _, c := range []Class{Test, Small, Medium, Large} {
+		got, err := ParseClass(c.String())
+		if err != nil || got != c {
+			t.Fatalf("ParseClass(%q) = %v, %v", c.String(), got, err)
+		}
+	}
+	if _, err := ParseClass("huge"); err == nil {
+		t.Fatal("ParseClass should reject unknown class names")
+	}
+	if s := Class(99).String(); s != "Class(99)" {
+		t.Fatalf("out-of-range class String = %q", s)
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	mustPanic := func(name string, mutate func(*Benchmark)) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: Register should panic", name)
+			}
+		}()
+		b := stubBenchmark("stub-" + name)
+		mutate(b)
+		Register(b)
+	}
+	mustPanic("no-name", func(b *Benchmark) { b.Name = "" })
+	mustPanic("no-seq", func(b *Benchmark) { b.Seq = nil })
+	mustPanic("no-run", func(b *Benchmark) { b.Run = nil })
+	mustPanic("no-versions", func(b *Benchmark) { b.Versions = nil })
+	mustPanic("bad-best", func(b *Benchmark) { b.BestVersion = "nope" })
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	Register(stubBenchmark("dup-check"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register should panic")
+		}
+	}()
+	Register(stubBenchmark("dup-check"))
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("no-such-benchmark"); err == nil {
+		t.Fatal("Get should fail for unknown names")
+	}
+}
+
+func TestCheckDigestComparison(t *testing.T) {
+	b := stubBenchmark("check-test")
+	seq := &SeqResult{Digest: "abc"}
+	if err := b.Check(seq, &RunResult{Digest: "abc"}); err != nil {
+		t.Fatalf("matching digests should verify: %v", err)
+	}
+	if err := b.Check(seq, &RunResult{Digest: "xyz"}); err == nil {
+		t.Fatal("mismatched digests should fail verification")
+	}
+}
+
+func TestCheckCustomVerifier(t *testing.T) {
+	b := stubBenchmark("custom-verify")
+	sentinel := errors.New("sentinel")
+	b.Verify = func(seq *SeqResult, par *RunResult) error { return sentinel }
+	if err := b.Check(&SeqResult{}, &RunResult{}); !errors.Is(err, sentinel) {
+		t.Fatalf("custom verifier not used: %v", err)
+	}
+}
+
+func TestParseVersionMatrix(t *testing.T) {
+	cases := []struct {
+		in      string
+		cutoff  string
+		gen     string
+		untied  bool
+		wantErr bool
+	}{
+		{"tied", "", "", false, false},
+		{"untied", "", "", true, false},
+		{"if-tied", "if", "", false, false},
+		{"manual-untied", "manual", "", true, false},
+		{"none-tied", "none", "", false, false},
+		{"single-untied", "", "single", true, false},
+		{"for-tied", "", "for", false, false},
+		{"bogus", "", "", false, true},
+		{"weird-untied", "", "", false, true},
+		{"a-b-tied", "", "", false, true},
+	}
+	for _, tc := range cases {
+		v, err := ParseVersion(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParseVersion(%q) should fail", tc.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseVersion(%q): %v", tc.in, err)
+			continue
+		}
+		if v.Cutoff != tc.cutoff || v.Generator != tc.gen || v.Untied != tc.untied {
+			t.Errorf("ParseVersion(%q) = %+v", tc.in, v)
+		}
+	}
+}
+
+func TestVersionListsAreParseable(t *testing.T) {
+	for _, list := range [][]string{CutoffVersions(), PlainVersions(), GeneratorVersions()} {
+		for _, v := range list {
+			if _, err := ParseVersion(v); err != nil {
+				t.Errorf("%q: %v", v, err)
+			}
+		}
+	}
+	if len(CutoffVersions()) != 6 || len(PlainVersions()) != 2 || len(GeneratorVersions()) != 4 {
+		t.Error("unexpected version list sizes")
+	}
+}
+
+func TestTeamOptsAssembly(t *testing.T) {
+	cfg := RunConfig{
+		Threads:       2,
+		RuntimeCutoff: omp.MaxTasks{Limit: 4},
+		Policy:        omp.BreadthFirst,
+	}
+	opts := cfg.TeamOpts()
+	if len(opts) != 2 {
+		t.Fatalf("TeamOpts = %d options, want 2 (policy + cutoff)", len(opts))
+	}
+	// The options must be applicable without panicking.
+	omp.Parallel(1, func(c *omp.Context) {}, opts...)
+}
+
+func TestHasVersion(t *testing.T) {
+	b := stubBenchmark(fmt.Sprintf("hv-%d", 1))
+	if !b.HasVersion("tied") || b.HasVersion("nope") {
+		t.Fatal("HasVersion misbehaves")
+	}
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Variant is a parsed version name. The suite's version naming
+// follows the paper's figure labels:
+//
+//	"tied" / "untied"                      — plain task versions
+//	"if-tied" / "if-untied"                — if-clause depth cut-off (paper Fig. 1)
+//	"manual-tied" / "manual-untied"        — manual depth cut-off (paper Fig. 2)
+//	"none-tied" / "none-untied"            — no application cut-off
+//	"single-tied" / "for-untied" / ...     — generator scheme (SparseLU)
+type Variant struct {
+	// Cutoff is "if", "manual", "none", or "" for benchmarks without
+	// an application-level cut-off.
+	Cutoff string
+	// Generator is "single", "for", or "" for benchmarks without a
+	// generator-scheme choice.
+	Generator string
+	// Untied reports whether tasks carry the untied clause.
+	Untied bool
+}
+
+// ParseVersion parses a version name into its variant parts.
+func ParseVersion(name string) (Variant, error) {
+	v := Variant{}
+	parts := strings.Split(name, "-")
+	tiedness := parts[len(parts)-1]
+	switch tiedness {
+	case "tied":
+	case "untied":
+		v.Untied = true
+	default:
+		return v, fmt.Errorf("core: version %q must end in -tied or -untied (or be \"tied\"/\"untied\")", name)
+	}
+	if len(parts) == 1 {
+		return v, nil
+	}
+	if len(parts) != 2 {
+		return v, fmt.Errorf("core: malformed version name %q", name)
+	}
+	switch parts[0] {
+	case "if", "manual", "none":
+		v.Cutoff = parts[0]
+	case "single", "for":
+		v.Generator = parts[0]
+	default:
+		return v, fmt.Errorf("core: unknown version qualifier %q in %q", parts[0], name)
+	}
+	return v, nil
+}
+
+// CutoffVersions is the version list for benchmarks with a
+// depth-based application cut-off (fib, floorplan, health, nqueens,
+// strassen).
+func CutoffVersions() []string {
+	return []string{"if-tied", "if-untied", "manual-tied", "manual-untied", "none-tied", "none-untied"}
+}
+
+// PlainVersions is the version list for benchmarks without an
+// application cut-off (alignment, fft, sort).
+func PlainVersions() []string {
+	return []string{"tied", "untied"}
+}
+
+// GeneratorVersions is the version list for benchmarks with a
+// single/multiple generator choice (sparselu).
+func GeneratorVersions() []string {
+	return []string{"single-tied", "single-untied", "for-tied", "for-untied"}
+}

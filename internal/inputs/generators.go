@@ -1,0 +1,134 @@
+package inputs
+
+// Proteins generates n synthetic protein sequences over the standard
+// 20-letter amino-acid alphabet with lengths in [minLen, maxLen],
+// deterministically from seed. The BOTS Alignment benchmark aligns
+// every sequence against every other; the length spread below
+// reproduces the imbalance across pair tasks that the paper's
+// dynamic-schedule discussion relies on.
+func Proteins(n, minLen, maxLen int, seed uint64) [][]byte {
+	const alphabet = "ARNDCQEGHILKMFPSTWYV"
+	r := NewRNG(seed)
+	seqs := make([][]byte, n)
+	for i := range seqs {
+		ln := minLen
+		if maxLen > minLen {
+			ln += r.Intn(maxLen - minLen + 1)
+		}
+		s := make([]byte, ln)
+		for j := range s {
+			s[j] = alphabet[r.Intn(len(alphabet))]
+		}
+		seqs[i] = s
+	}
+	return seqs
+}
+
+// Ints32 generates n pseudo-random 32-bit integers (as the BOTS Sort
+// benchmark sorts "a random permutation of n 32-bit numbers").
+func Ints32(n int, seed uint64) []int32 {
+	r := NewRNG(seed)
+	v := make([]int32, n)
+	for i := range v {
+		v[i] = int32(r.Uint64())
+	}
+	return v
+}
+
+// ComplexVector generates n complex values with components in
+// [-1, 1) for the FFT benchmark.
+func ComplexVector(n int, seed uint64) []complex128 {
+	r := NewRNG(seed)
+	v := make([]complex128, n)
+	for i := range v {
+		v[i] = complex(2*r.Float64()-1, 2*r.Float64()-1)
+	}
+	return v
+}
+
+// Matrix generates an n×n dense matrix with entries in [-1, 1),
+// stored row-major, for the Strassen benchmark.
+func Matrix(n int, seed uint64) []float64 {
+	r := NewRNG(seed)
+	m := make([]float64, n*n)
+	for i := range m {
+		m[i] = 2*r.Float64() - 1
+	}
+	return m
+}
+
+// Cell is one floorplan cell: a component with a set of alternative
+// shapes (width×height orientations) from which the branch-and-bound
+// search picks one while minimizing the bounding area.
+type Cell struct {
+	// Alts is the list of alternative shapes; each entry is {w, h}.
+	Alts [][2]int
+}
+
+// FloorplanCells generates n cells, each with 2 or 3 alternative
+// shapes of bounded dimensions, deterministically from seed. Shapes
+// are small (1..maxDim) so that good packings exist and the pruning
+// is aggressive and irregular, as in the AKM kernel the paper ports.
+func FloorplanCells(n, maxDim int, seed uint64) []Cell {
+	r := NewRNG(seed)
+	cells := make([]Cell, n)
+	for i := range cells {
+		w := 1 + r.Intn(maxDim)
+		h := 1 + r.Intn(maxDim)
+		alts := [][2]int{{w, h}}
+		if w != h {
+			alts = append(alts, [2]int{h, w}) // rotation
+		}
+		if r.Bernoulli(0.5) {
+			// An alternative aspect ratio with similar area.
+			w2 := 1 + r.Intn(maxDim)
+			h2 := (w*h + w2 - 1) / w2
+			if h2 >= 1 && (w2 != w || h2 != h) {
+				alts = append(alts, [2]int{w2, h2})
+			}
+		}
+		cells[i] = Cell{Alts: alts}
+	}
+	return cells
+}
+
+// SparsePattern returns the non-null-block pattern for an nb×nb block
+// matrix in the shape the BOTS SparseLU generator uses: a structured
+// sparse pattern (dense diagonal plus deterministic off-diagonal
+// fill) that leaves null blocks to create the load imbalance the
+// paper discusses. pattern[i*nb+j] reports whether block (i,j) is
+// allocated initially.
+func SparsePattern(nb int, seed uint64) []bool {
+	r := NewRNG(seed)
+	p := make([]bool, nb*nb)
+	for i := 0; i < nb; i++ {
+		for j := 0; j < nb; j++ {
+			switch {
+			case i == j:
+				p[i*nb+j] = true // dense diagonal keeps the factorization well-defined
+			case (i+j)%3 == 0 || (i-j+nb)%5 == 0:
+				p[i*nb+j] = true
+			default:
+				p[i*nb+j] = r.Bernoulli(0.15)
+			}
+		}
+	}
+	return p
+}
+
+// Block fills a bs×bs block with deterministic, diagonally-dominant
+// values derived from the block coordinates, so LU factorization
+// without pivoting is numerically stable.
+func Block(bs, i, j, nb int, seed uint64) []float64 {
+	r := NewRNG(seed).Split(uint64(i)*uint64(nb) + uint64(j))
+	b := make([]float64, bs*bs)
+	for k := range b {
+		b[k] = 2*r.Float64() - 1
+	}
+	if i == j {
+		for d := 0; d < bs; d++ {
+			b[d*bs+d] += float64(2 * bs) // diagonal dominance
+		}
+	}
+	return b
+}

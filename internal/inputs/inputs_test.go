@@ -1,0 +1,219 @@
+package inputs
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("equal seeds must produce equal streams")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d collisions in 1000 draws", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := NewRNG(7)
+	s1 := r.Split(1)
+	s2 := r.Split(2)
+	s1b := NewRNG(7).Split(1)
+	for i := 0; i < 100; i++ {
+		if s1.Uint64() != s1b.Uint64() {
+			t.Fatal("Split must be deterministic in (seed, stream)")
+		}
+	}
+	// Split must not disturb the parent stream.
+	r1, r2 := NewRNG(7), NewRNG(7)
+	r2.Split(99)
+	for i := 0; i < 100; i++ {
+		if r1.Uint64() != r2.Uint64() {
+			t.Fatal("Split must not advance the parent generator")
+		}
+	}
+	_ = s2
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(1)
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+		sum += f
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.02 {
+		t.Fatalf("Float64 mean = %v, want ≈ 0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(2)
+	seen := make([]bool, 10)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d", v)
+		}
+		seen[v] = true
+	}
+	for v, ok := range seen {
+		if !ok {
+			t.Fatalf("Intn never produced %d in 1000 draws", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	r := NewRNG(3)
+	hits := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	if f := float64(hits) / n; math.Abs(f-0.3) > 0.02 {
+		t.Fatalf("Bernoulli(0.3) frequency = %v", f)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint32) bool {
+		r := NewRNG(uint64(seed))
+		p := r.Perm(30)
+		seen := make([]bool, 30)
+		for _, v := range p {
+			if v < 0 || v >= 30 || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProteinsShape(t *testing.T) {
+	seqs := Proteins(20, 10, 50, 9)
+	if len(seqs) != 20 {
+		t.Fatalf("got %d sequences", len(seqs))
+	}
+	lens := map[int]bool{}
+	for _, s := range seqs {
+		if len(s) < 10 || len(s) > 50 {
+			t.Fatalf("sequence length %d outside [10,50]", len(s))
+		}
+		lens[len(s)] = true
+		for _, c := range s {
+			if c < 'A' || c > 'Z' {
+				t.Fatalf("non-letter residue %q", c)
+			}
+		}
+	}
+	if len(lens) < 5 {
+		t.Fatal("sequence lengths should vary (imbalance across pair tasks)")
+	}
+	again := Proteins(20, 10, 50, 9)
+	for i := range seqs {
+		if string(seqs[i]) != string(again[i]) {
+			t.Fatal("Proteins must be deterministic in the seed")
+		}
+	}
+}
+
+func TestFloorplanCellsValid(t *testing.T) {
+	cells := FloorplanCells(15, 6, 11)
+	if len(cells) != 15 {
+		t.Fatalf("got %d cells", len(cells))
+	}
+	for i, c := range cells {
+		if len(c.Alts) == 0 {
+			t.Fatalf("cell %d has no alternatives", i)
+		}
+		for _, a := range c.Alts {
+			if a[0] < 1 || a[1] < 1 || a[0] > 12 || a[1] > 12 {
+				t.Fatalf("cell %d has degenerate shape %v", i, a)
+			}
+		}
+	}
+}
+
+func TestSparsePatternProperties(t *testing.T) {
+	nb := 16
+	p := SparsePattern(nb, 5)
+	var filled int
+	for i := 0; i < nb; i++ {
+		if !p[i*nb+i] {
+			t.Fatalf("diagonal block (%d,%d) must be present", i, i)
+		}
+		for j := 0; j < nb; j++ {
+			if p[i*nb+j] {
+				filled++
+			}
+		}
+	}
+	density := float64(filled) / float64(nb*nb)
+	if density < 0.2 || density > 0.9 {
+		t.Fatalf("pattern density = %v, want sparse but non-trivial", density)
+	}
+}
+
+func TestBlockDiagonalDominance(t *testing.T) {
+	bs := 8
+	b := Block(bs, 3, 3, 16, 7)
+	for i := 0; i < bs; i++ {
+		var off float64
+		for j := 0; j < bs; j++ {
+			if i != j {
+				off += math.Abs(b[i*bs+j])
+			}
+		}
+		if math.Abs(b[i*bs+i]) <= off {
+			t.Fatalf("diagonal block row %d not dominant: |d|=%v off=%v",
+				i, math.Abs(b[i*bs+i]), off)
+		}
+	}
+}
+
+func TestInts32AndComplexAndMatrixDeterminism(t *testing.T) {
+	if a, b := Ints32(100, 1), Ints32(100, 1); a[50] != b[50] {
+		t.Fatal("Ints32 not deterministic")
+	}
+	if a, b := ComplexVector(100, 1), ComplexVector(100, 1); a[50] != b[50] {
+		t.Fatal("ComplexVector not deterministic")
+	}
+	if a, b := Matrix(10, 1), Matrix(10, 1); a[50] != b[50] {
+		t.Fatal("Matrix not deterministic")
+	}
+	m := Matrix(10, 1)
+	for _, v := range m {
+		if v < -1 || v >= 1 {
+			t.Fatalf("Matrix entry %v outside [-1,1)", v)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Package inputs provides the deterministic pseudo-random generators
+// and synthetic data sets used by the BOTS reproduction: protein
+// sequences for Alignment, cell sets for Floorplan, village-hierarchy
+// parameters for Health, vectors and matrices for FFT/Sort/SparseLU/
+// Strassen. Everything is seeded, so every input class is
+// reproducible bit-for-bit across runs and platforms — the property
+// the paper's self-verification methodology depends on.
+package inputs
+
+// RNG is a small, fast, deterministic PRNG (splitmix64 for seeding,
+// xoshiro256** for the stream). It deliberately avoids math/rand so
+// that sequences are stable across Go releases, and it is the
+// mechanism behind the paper's per-village seeding fix for Health's
+// indeterminism (§III-B): any subcomponent can derive its own
+// independent deterministic stream.
+type RNG struct {
+	s [4]uint64
+}
+
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// NewRNG returns a generator seeded from seed.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	x := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&x)
+	}
+	return r
+}
+
+// Split derives an independent generator from this one's seed space
+// and the given stream index, without disturbing this generator's
+// state. Equal (seed, stream) pairs always produce equal generators.
+func (r *RNG) Split(stream uint64) *RNG {
+	x := r.s[0] ^ (stream * 0xd1342543de82ef95)
+	return NewRNG(splitmix64(&x))
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("inputs: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int31 returns a non-negative 31-bit integer.
+func (r *RNG) Int31() int32 {
+	return int32(r.Uint64() >> 33)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bernoulli returns true with probability p.
+func (r *RNG) Bernoulli(p float64) bool {
+	return r.Float64() < p
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}

@@ -1,0 +1,124 @@
+package omp
+
+import "fmt"
+
+// CutoffPolicy is a runtime task-creation cut-off: when Defer returns
+// false, a would-be deferred task is executed immediately on the
+// encountering thread instead of being queued (it is still a task —
+// the undeferred path — unlike an application-level manual cut-off,
+// which bypasses the runtime entirely).
+//
+// The BOTS paper groups cut-offs into application-level (depth-based,
+// implemented in the benchmarks themselves) and runtime-level
+// (task-count-based, like the Intel compiler's). The policies here
+// implement the runtime-level group plus the adaptive scheme the
+// paper cites for its §IV-D discussion.
+type CutoffPolicy interface {
+	// Defer reports whether a new task encountered by worker w at
+	// tree depth should be deferred (queued) rather than undeferred.
+	Defer(tm *Team, w *worker, depth int32) bool
+	// Name identifies the policy in reports.
+	Name() string
+}
+
+// NoCutoff defers every task, putting all the burden on the
+// implementation — the paper's "no-cutoff" configuration.
+type NoCutoff struct{}
+
+// Defer always reports true.
+func (NoCutoff) Defer(*Team, *worker, int32) bool { return true }
+
+// Name implements CutoffPolicy.
+func (NoCutoff) Name() string { return "none" }
+
+// MaxTasks defers tasks only while the team has fewer than
+// Limit*numThreads live tasks — the task-count cut-off the paper
+// attributes to the Intel OpenMP runtime.
+type MaxTasks struct {
+	// Limit is the per-thread live-task budget. Zero means a default
+	// of 64 tasks per thread.
+	Limit int64
+}
+
+const defaultMaxTasksPerThread = 64
+
+// Defer implements CutoffPolicy.
+func (p MaxTasks) Defer(tm *Team, _ *worker, _ int32) bool {
+	lim := p.Limit
+	if lim <= 0 {
+		lim = defaultMaxTasksPerThread
+	}
+	return tm.liveTasks.Load() < lim*int64(len(tm.workers))
+}
+
+// Name implements CutoffPolicy.
+func (p MaxTasks) Name() string { return fmt.Sprintf("maxtasks(%d)", p.Limit) }
+
+// MaxQueue defers tasks only while the encountering worker's own
+// deque holds fewer than Limit ready tasks. It bounds queue growth
+// per worker rather than per team.
+type MaxQueue struct {
+	// Limit is the per-worker ready-queue bound. Zero means 32.
+	Limit int64
+}
+
+// Defer implements CutoffPolicy.
+func (p MaxQueue) Defer(_ *Team, w *worker, _ int32) bool {
+	lim := p.Limit
+	if lim <= 0 {
+		lim = 32
+	}
+	return w.dq.size() < lim
+}
+
+// Name implements CutoffPolicy.
+func (p MaxQueue) Name() string { return fmt.Sprintf("maxqueue(%d)", p.Limit) }
+
+// MaxDepth defers tasks only above a tree depth, mirroring in the
+// runtime what the benchmarks' application-level depth cut-offs do in
+// code. It lets the harness sweep cut-off values (§IV-D) without
+// recompiling the application.
+type MaxDepth struct {
+	// Limit is the maximum depth at which tasks are still deferred.
+	Limit int32
+}
+
+// Defer implements CutoffPolicy.
+func (p MaxDepth) Defer(_ *Team, _ *worker, depth int32) bool { return depth <= p.Limit }
+
+// Name implements CutoffPolicy.
+func (p MaxDepth) Name() string { return fmt.Sprintf("maxdepth(%d)", p.Limit) }
+
+// Adaptive defers tasks while any worker in the team is likely to be
+// hungry: it defers when the encountering worker's deque is shallow
+// and throttles when the local queue already holds plenty of work,
+// following the adaptive-cut-off idea of Duran et al. (SC 2008) cited
+// in the paper's §IV-D.
+type Adaptive struct {
+	// LowWater and HighWater bound the local queue depth between
+	// which the policy flips. Zeros mean 4 and 64.
+	LowWater, HighWater int64
+}
+
+// Defer implements CutoffPolicy.
+func (p Adaptive) Defer(tm *Team, w *worker, _ int32) bool {
+	low, high := p.LowWater, p.HighWater
+	if low <= 0 {
+		low = 4
+	}
+	if high <= 0 {
+		high = 64
+	}
+	n := w.dq.size()
+	if n < low {
+		return true
+	}
+	if n >= high {
+		return false
+	}
+	// Mid-band: defer only if some worker looks starved.
+	return tm.liveTasks.Load() < int64(len(tm.workers))*low*2
+}
+
+// Name implements CutoffPolicy.
+func (p Adaptive) Name() string { return "adaptive" }

@@ -1,0 +1,127 @@
+package omp
+
+import "sync/atomic"
+
+// deque is a lock-free Chase–Lev work-stealing deque of *task.
+//
+// The owning worker pushes and pops at the bottom (LIFO); thieves
+// steal from the top (FIFO). The implementation follows Chase & Lev,
+// "Dynamic Circular Work-Stealing Deque" (SPAA 2005), using Go's
+// sequentially-consistent atomics, with a growable circular buffer.
+// Only the owner may call pushBottom/popBottom; steal and stealIf may
+// be called from any goroutine.
+type deque struct {
+	top    atomic.Int64 // next index to steal from
+	bottom atomic.Int64 // next index to push at (owner-private writes)
+	ring   atomic.Pointer[dequeRing]
+}
+
+const initialDequeCap = 64
+
+type dequeRing struct {
+	mask int64
+	slot []atomic.Pointer[task]
+}
+
+func newDequeRing(capacity int64) *dequeRing {
+	return &dequeRing{mask: capacity - 1, slot: make([]atomic.Pointer[task], capacity)}
+}
+
+func (r *dequeRing) get(i int64) *task    { return r.slot[i&r.mask].Load() }
+func (r *dequeRing) put(i int64, t *task) { r.slot[i&r.mask].Store(t) }
+func (r *dequeRing) capacity() int64      { return r.mask + 1 }
+
+// grow returns a ring of twice the capacity containing the elements
+// in [top, bottom).
+func (r *dequeRing) grow(top, bottom int64) *dequeRing {
+	nr := newDequeRing(r.capacity() * 2)
+	for i := top; i < bottom; i++ {
+		nr.put(i, r.get(i))
+	}
+	return nr
+}
+
+func newDeque() *deque {
+	d := &deque{}
+	d.ring.Store(newDequeRing(initialDequeCap))
+	return d
+}
+
+// size returns an approximation of the number of queued tasks. It is
+// exact when called by the owner with no concurrent steals.
+func (d *deque) size() int64 {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	if b < t {
+		return 0
+	}
+	return b - t
+}
+
+// pushBottom appends t at the bottom. Owner only.
+func (d *deque) pushBottom(t *task) {
+	b := d.bottom.Load()
+	tp := d.top.Load()
+	r := d.ring.Load()
+	if b-tp >= r.capacity()-1 {
+		r = r.grow(tp, b)
+		d.ring.Store(r)
+	}
+	r.put(b, t)
+	d.bottom.Store(b + 1)
+}
+
+// popBottom removes and returns the most recently pushed task, or nil
+// if the deque is empty. Owner only.
+func (d *deque) popBottom() *task {
+	b := d.bottom.Load() - 1
+	r := d.ring.Load()
+	d.bottom.Store(b)
+	tp := d.top.Load()
+	if tp > b {
+		// Empty: restore bottom.
+		d.bottom.Store(tp)
+		return nil
+	}
+	t := r.get(b)
+	if tp != b {
+		return t // more than one element; no race with thieves
+	}
+	// Single element: race with thieves for it.
+	if !d.top.CompareAndSwap(tp, tp+1) {
+		t = nil // a thief got it
+	}
+	d.bottom.Store(tp + 1)
+	return t
+}
+
+// steal removes and returns the oldest task, or nil if the deque is
+// empty or the steal lost a race. Callable from any goroutine.
+func (d *deque) steal() *task {
+	return d.stealIf(nil)
+}
+
+// stealIf is like steal but, when pred is non-nil, only completes the
+// steal if pred accepts the candidate task; otherwise the task is
+// left in place and nil is returned. pred may be called on a task
+// that ultimately is not stolen (when the CAS fails), so it must be a
+// pure function of the task.
+func (d *deque) stealIf(pred func(*task) bool) *task {
+	tp := d.top.Load()
+	b := d.bottom.Load()
+	if tp >= b {
+		return nil
+	}
+	r := d.ring.Load()
+	t := r.get(tp)
+	if t == nil {
+		return nil
+	}
+	if pred != nil && !pred(t) {
+		return nil
+	}
+	if !d.top.CompareAndSwap(tp, tp+1) {
+		return nil
+	}
+	return t
+}

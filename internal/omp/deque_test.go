@@ -1,0 +1,210 @@
+package omp
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func mkTask(id int) *task {
+	return &task{depth: int32(id)} // depth doubles as an identity tag in these tests
+}
+
+func TestDequeLIFOOwner(t *testing.T) {
+	d := newDeque()
+	for i := 0; i < 10; i++ {
+		d.pushBottom(mkTask(i))
+	}
+	for i := 9; i >= 0; i-- {
+		got := d.popBottom()
+		if got == nil || got.depth != int32(i) {
+			t.Fatalf("popBottom = %v, want task %d", got, i)
+		}
+	}
+	if d.popBottom() != nil {
+		t.Fatal("popBottom on empty deque should return nil")
+	}
+}
+
+func TestDequeFIFOSteal(t *testing.T) {
+	d := newDeque()
+	for i := 0; i < 10; i++ {
+		d.pushBottom(mkTask(i))
+	}
+	for i := 0; i < 10; i++ {
+		got := d.steal()
+		if got == nil || got.depth != int32(i) {
+			t.Fatalf("steal = %v, want task %d", got, i)
+		}
+	}
+	if d.steal() != nil {
+		t.Fatal("steal on empty deque should return nil")
+	}
+}
+
+func TestDequeInterleavedOwnerOps(t *testing.T) {
+	d := newDeque()
+	d.pushBottom(mkTask(1))
+	d.pushBottom(mkTask(2))
+	if got := d.popBottom(); got.depth != 2 {
+		t.Fatalf("pop = %d, want 2", got.depth)
+	}
+	d.pushBottom(mkTask(3))
+	if got := d.steal(); got.depth != 1 {
+		t.Fatalf("steal = %d, want 1", got.depth)
+	}
+	if got := d.popBottom(); got.depth != 3 {
+		t.Fatalf("pop = %d, want 3", got.depth)
+	}
+	if d.size() != 0 {
+		t.Fatalf("size = %d, want 0", d.size())
+	}
+}
+
+func TestDequeGrowth(t *testing.T) {
+	d := newDeque()
+	const n = 10 * initialDequeCap
+	for i := 0; i < n; i++ {
+		d.pushBottom(mkTask(i))
+	}
+	if d.size() != n {
+		t.Fatalf("size = %d, want %d", d.size(), n)
+	}
+	// Oldest half out the top, newest half out the bottom.
+	for i := 0; i < n/2; i++ {
+		if got := d.steal(); got == nil || got.depth != int32(i) {
+			t.Fatalf("steal %d = %v", i, got)
+		}
+	}
+	for i := n - 1; i >= n/2; i-- {
+		if got := d.popBottom(); got == nil || got.depth != int32(i) {
+			t.Fatalf("pop %d = %v", i, got)
+		}
+	}
+}
+
+func TestDequeStealIfPredicate(t *testing.T) {
+	d := newDeque()
+	d.pushBottom(mkTask(7))
+	if got := d.stealIf(func(t *task) bool { return false }); got != nil {
+		t.Fatal("stealIf with rejecting predicate should leave the task")
+	}
+	if d.size() != 1 {
+		t.Fatalf("size = %d after rejected steal, want 1", d.size())
+	}
+	if got := d.stealIf(func(t *task) bool { return t.depth == 7 }); got == nil {
+		t.Fatal("stealIf with accepting predicate should take the task")
+	}
+}
+
+// TestDequeConcurrentStealers checks that, under concurrent thieves
+// and an active owner, every pushed task is returned exactly once.
+func TestDequeConcurrentStealers(t *testing.T) {
+	const (
+		numTasks   = 20000
+		numThieves = 4
+	)
+	d := newDeque()
+	seen := make([]int32, numTasks)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	record := func(tk *task) {
+		mu.Lock()
+		seen[tk.depth]++
+		mu.Unlock()
+	}
+	for i := 0; i < numThieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			empties := 0
+			for empties < 10000 {
+				if tk := d.steal(); tk != nil {
+					record(tk)
+					empties = 0
+				} else {
+					empties++
+				}
+			}
+		}()
+	}
+	// Owner: interleave pushes and pops.
+	for i := 0; i < numTasks; i++ {
+		d.pushBottom(mkTask(i))
+		if i%3 == 0 {
+			if tk := d.popBottom(); tk != nil {
+				record(tk)
+			}
+		}
+	}
+	for {
+		tk := d.popBottom()
+		if tk == nil {
+			break
+		}
+		record(tk)
+	}
+	wg.Wait()
+	// Drain stragglers that a losing popBottom left behind.
+	for {
+		tk := d.steal()
+		if tk == nil {
+			break
+		}
+		record(tk)
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("task %d returned %d times, want exactly once", id, n)
+		}
+	}
+}
+
+// TestDequeSequentialSemantics drives the deque with random
+// owner-side operation sequences and checks it behaves as a plain
+// double-ended queue.
+func TestDequeSequentialSemantics(t *testing.T) {
+	f := func(ops []uint8) bool {
+		d := newDeque()
+		var model []int
+		next := 0
+		for _, op := range ops {
+			switch op % 3 {
+			case 0: // push
+				d.pushBottom(mkTask(next))
+				model = append(model, next)
+				next++
+			case 1: // pop bottom
+				got := d.popBottom()
+				if len(model) == 0 {
+					if got != nil {
+						return false
+					}
+				} else {
+					want := model[len(model)-1]
+					model = model[:len(model)-1]
+					if got == nil || int(got.depth) != want {
+						return false
+					}
+				}
+			case 2: // steal (top)
+				got := d.steal()
+				if len(model) == 0 {
+					if got != nil {
+						return false
+					}
+				} else {
+					want := model[0]
+					model = model[1:]
+					if got == nil || int(got.depth) != want {
+						return false
+					}
+				}
+			}
+		}
+		return int(d.size()) == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

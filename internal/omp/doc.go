@@ -1,0 +1,22 @@
+// Package omp implements an OpenMP 3.0-style task-parallel runtime
+// on goroutines: SPMD parallel regions with a fixed thread team,
+// explicit tasks with tied/untied semantics, taskwait, task-executing
+// barriers, single/master, loop worksharing with static/dynamic/
+// guided schedules, named critical sections, threadprivate storage,
+// if/final clauses, and pluggable runtime cut-off and scheduling
+// policies.
+//
+// It is the substrate for the Go reproduction of the Barcelona OpenMP
+// Tasks Suite (BOTS, Duran et al., ICPP 2009): every construct the
+// nine BOTS benchmarks use from OpenMP 3.0 has a counterpart here
+// with the same scheduling-relevant semantics. Tasks are scheduled by
+// per-worker lock-free Chase–Lev deques with random-victim work
+// stealing; a thread suspended at a taskwait executes other tasks
+// subject to the OpenMP task scheduling constraint (tied tasks may
+// only be interleaved with descendants; untied tasks with anything).
+//
+// The runtime can record the full task graph of a region through a
+// trace.Recorder (see WithRecorder); the internal/sim package replays
+// such traces on arbitrary virtual thread counts to reproduce the
+// paper's scalability studies on hosts with few cores.
+package omp

@@ -1,0 +1,124 @@
+package omp
+
+import "sync/atomic"
+
+// This file holds constructs beyond the OpenMP 3.0 core that the BOTS
+// paper's discussion points toward: taskyield and taskgroup (added in
+// OpenMP 3.1/4.0 and natural follow-ons for task suites), the
+// sections worksharing construct (the pre-3.0 way to express task-like
+// parallelism, which the paper's introduction contrasts tasks
+// against), and a reduction helper.
+
+// Taskyield is an explicit scheduling point (OpenMP 3.1): the current
+// task allows the thread to execute one other ready task, subject to
+// the same scheduling constraint as taskwait. It returns true if a
+// task was executed.
+func (c *Context) Taskyield() bool {
+	constraint := c.task
+	if c.task.untied {
+		constraint = nil
+	}
+	return c.w.runOne(constraint)
+}
+
+// Taskgroup executes body and then waits for *all* descendant tasks
+// created inside it (OpenMP 4.0 taskgroup), not only direct children
+// as taskwait does. It is implemented with a dedicated completion
+// counter threaded through the task tree.
+func (c *Context) Taskgroup(body func(*Context)) {
+	tg := &taskgroup{}
+	prev := c.task.group
+	c.task.group = tg
+	body(c)
+	c.task.group = prev
+	// Drain: execute tasks while the group has live members.
+	constraint := c.task
+	if c.task.untied {
+		constraint = nil
+	}
+	for tg.live.Load() > 0 {
+		if c.w.runOne(constraint) {
+			continue
+		}
+		tg.park()
+	}
+}
+
+// taskgroup tracks the live descendant count of one taskgroup region.
+type taskgroup struct {
+	live atomic.Int64
+	wake chan struct{}
+	mu   spinlessMutex
+}
+
+// spinlessMutex is a tiny mutex built on a channel-free CAS loop with
+// Gosched; it avoids a sync.Mutex per taskgroup on the hot path.
+// (Taskgroups are rare; this keeps the struct small.)
+type spinlessMutex struct{ state atomic.Int32 }
+
+func (m *spinlessMutex) lock() {
+	for !m.state.CompareAndSwap(0, 1) {
+		// Taskgroup signalling sections are a handful of instructions;
+		// spinning is cheaper than parking here.
+	}
+}
+func (m *spinlessMutex) unlock() { m.state.Store(0) }
+
+func (tg *taskgroup) enter() { tg.live.Add(1) }
+
+func (tg *taskgroup) leave() {
+	if tg.live.Add(-1) == 0 {
+		tg.mu.lock()
+		if tg.wake != nil {
+			select {
+			case tg.wake <- struct{}{}:
+			default:
+			}
+		}
+		tg.mu.unlock()
+	}
+}
+
+func (tg *taskgroup) park() {
+	tg.mu.lock()
+	if tg.live.Load() == 0 {
+		tg.mu.unlock()
+		return
+	}
+	if tg.wake == nil {
+		tg.wake = make(chan struct{}, 1)
+	}
+	ch := tg.wake
+	tg.mu.unlock()
+	<-ch
+}
+
+// Sections executes each function on some thread of the team, at most
+// one thread per section (the OpenMP sections worksharing construct),
+// with an implicit barrier at the end. Every thread of the team must
+// encounter the construct.
+func (c *Context) Sections(sections ...func(*Context)) {
+	idx := c.w.loopIdx
+	c.w.loopIdx++
+	st := c.w.team.loopStateFor(idx, 0)
+	for {
+		i := int(st.next.Add(1)) - 1
+		if i >= len(sections) {
+			break
+		}
+		sections[i](c)
+	}
+	c.Barrier()
+}
+
+// Reduce folds the per-thread values of tp into a single result using
+// op, under the construct's critical section — the NQueens reduction
+// pattern (§III-B of the paper) packaged as a helper. It must be
+// called by every thread of the team; the reduced value is returned
+// on all of them after an implicit barrier.
+func Reduce[T any](c *Context, tp *ThreadPrivate[T], zero T, op func(T, T) T, out *T) {
+	c.Critical("omp.reduce", func() {
+		*out = op(*out, *tp.Get(c))
+	})
+	c.Barrier()
+}

@@ -1,0 +1,198 @@
+package omp
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestTaskyieldExecutesReadyTask(t *testing.T) {
+	var helped atomic.Int64
+	Parallel(1, func(c *Context) {
+		c.Task(func(c *Context) { helped.Add(1) })
+		// Single worker: only a scheduling point can run the task
+		// before the region-end barrier.
+		if !c.Taskyield() {
+			t.Error("Taskyield should have found the queued task")
+		}
+		if helped.Load() != 1 {
+			t.Error("Taskyield did not execute the task")
+		}
+		if c.Taskyield() {
+			t.Error("Taskyield with an empty queue should return false")
+		}
+	})
+}
+
+func TestTaskgroupWaitsForDescendants(t *testing.T) {
+	// taskwait waits only for children; taskgroup must wait for the
+	// whole subtree.
+	var deep atomic.Int64
+	Parallel(4, func(c *Context) {
+		c.Single(func(c *Context) {
+			c.Taskgroup(func(c *Context) {
+				for i := 0; i < 8; i++ {
+					c.Task(func(c *Context) {
+						c.Task(func(c *Context) {
+							c.Task(func(c *Context) { deep.Add(1) })
+						})
+					})
+				}
+			})
+			// No barrier yet: the grandchildren must already be done.
+			if got := deep.Load(); got != 8 {
+				t.Errorf("after taskgroup: %d grand-grandchildren done, want 8", got)
+			}
+		})
+	})
+}
+
+func TestTaskgroupNested(t *testing.T) {
+	var inner, outer atomic.Int64
+	Parallel(2, func(c *Context) {
+		c.Single(func(c *Context) {
+			c.Taskgroup(func(c *Context) {
+				c.Task(func(c *Context) {
+					c.Taskgroup(func(c *Context) {
+						c.Task(func(c *Context) { inner.Add(1) })
+					})
+					if inner.Load() != 1 {
+						t.Error("inner taskgroup leaked")
+					}
+					outer.Add(1)
+				})
+			})
+			if outer.Load() != 1 {
+				t.Error("outer taskgroup did not wait")
+			}
+		})
+	})
+}
+
+func TestSectionsDistribution(t *testing.T) {
+	var ran [5]atomic.Int64
+	var owners [5]atomic.Int64
+	Parallel(3, func(c *Context) {
+		c.Sections(
+			func(c *Context) { ran[0].Add(1); owners[0].Store(int64(c.ThreadNum())) },
+			func(c *Context) { ran[1].Add(1); owners[1].Store(int64(c.ThreadNum())) },
+			func(c *Context) { ran[2].Add(1); owners[2].Store(int64(c.ThreadNum())) },
+			func(c *Context) { ran[3].Add(1); owners[3].Store(int64(c.ThreadNum())) },
+			func(c *Context) { ran[4].Add(1); owners[4].Store(int64(c.ThreadNum())) },
+		)
+	})
+	for i := range ran {
+		if ran[i].Load() != 1 {
+			t.Fatalf("section %d ran %d times, want exactly 1", i, ran[i].Load())
+		}
+	}
+}
+
+func TestSectionsMoreThreadsThanSections(t *testing.T) {
+	var n atomic.Int64
+	Parallel(8, func(c *Context) {
+		c.Sections(func(c *Context) { n.Add(1) })
+	})
+	if n.Load() != 1 {
+		t.Fatalf("single section ran %d times", n.Load())
+	}
+}
+
+func TestReduceHelper(t *testing.T) {
+	const threads = 5
+	tp := NewThreadPrivate[int64](threads)
+	var total int64
+	Parallel(threads, func(c *Context) {
+		*tp.Get(c) = int64(c.ThreadNum() + 1)
+		Reduce(c, tp, 0, func(a, b int64) int64 { return a + b }, &total)
+		// After Reduce's barrier all threads see the final value.
+		if total != 15 {
+			t.Errorf("thread %d sees reduction %d, want 15", c.ThreadNum(), total)
+		}
+	})
+}
+
+func TestTaskPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Parallel should re-raise a task panic")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "boom") {
+			t.Fatalf("unexpected panic value %v", r)
+		}
+	}()
+	Parallel(4, func(c *Context) {
+		c.Single(func(c *Context) {
+			for i := 0; i < 10; i++ {
+				i := i
+				c.Task(func(c *Context) {
+					if i == 7 {
+						panic("boom")
+					}
+				})
+			}
+			c.Taskwait()
+		})
+	})
+}
+
+func TestRegionBodyPanicDoesNotWedgeTeam(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("region-body panic should propagate")
+		}
+	}()
+	Parallel(4, func(c *Context) {
+		if c.ThreadNum() == 2 {
+			panic("region boom")
+		}
+		// The other threads proceed to the implicit barrier; the
+		// panicking thread must still join it or everyone hangs.
+	})
+}
+
+func TestUndeferredTaskPanicPropagates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("undeferred-task panic should propagate")
+		}
+	}()
+	Parallel(2, func(c *Context) {
+		c.Single(func(c *Context) {
+			c.Task(func(c *Context) { panic("inline boom") }, If(false))
+		})
+	})
+}
+
+func TestPanicDoesNotWedgeWaiters(t *testing.T) {
+	// A parent taskwaiting on a panicking child must be released.
+	defer func() { recover() }()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer func() { recover() }()
+		Parallel(2, func(c *Context) {
+			c.Single(func(c *Context) {
+				c.Task(func(c *Context) { panic("child boom") })
+				c.Taskwait() // must not hang
+			})
+		})
+	}()
+	<-done
+}
+
+func TestTaskgroupWithStats(t *testing.T) {
+	st := Parallel(2, func(c *Context) {
+		c.Single(func(c *Context) {
+			c.Taskgroup(func(c *Context) {
+				for i := 0; i < 16; i++ {
+					c.Task(func(c *Context) { c.AddWork(1) })
+				}
+			})
+		})
+	})
+	if st.TasksCreated != 16 || st.WorkUnits != 16 {
+		t.Fatalf("stats after taskgroup: %+v", st)
+	}
+}

@@ -1,0 +1,78 @@
+package omp
+
+import "fmt"
+
+// Stats aggregates per-team runtime counters. All counts are totals
+// across the team's workers for one parallel region.
+type Stats struct {
+	// TasksCreated is the number of deferred tasks pushed to deques.
+	TasksCreated int64
+	// TasksUndeferred is the number of tasks executed immediately on
+	// the encountering thread because of an if(false) clause, a final
+	// ancestor, or a runtime cut-off decision.
+	TasksUndeferred int64
+	// TasksStolen is the number of tasks executed by a worker other
+	// than their creator.
+	TasksStolen int64
+	// Taskwaits is the number of taskwait operations executed.
+	Taskwaits int64
+	// TaskwaitParks is the number of times a taskwait had to park
+	// (no runnable task satisfied the scheduling constraint).
+	TaskwaitParks int64
+	// Barriers is the number of team barriers executed (per worker
+	// arrival; a single barrier of an n-thread team counts n).
+	Barriers int64
+	// CapturedBytes is the total captured-environment (firstprivate)
+	// bytes declared at task creation.
+	CapturedBytes int64
+	// WorkUnits is the total application-reported work.
+	WorkUnits int64
+	// PrivateWrites and SharedWrites are application-reported write
+	// counts (Table II accounting).
+	PrivateWrites, SharedWrites int64
+}
+
+// TotalTasks returns all tasks that passed through a task directive,
+// deferred or not.
+func (s *Stats) TotalTasks() int64 { return s.TasksCreated + s.TasksUndeferred }
+
+func (s *Stats) String() string {
+	return fmt.Sprintf(
+		"tasks=%d (undeferred %d, stolen %d) taskwaits=%d parks=%d barriers=%d captured=%dB work=%d",
+		s.TotalTasks(), s.TasksUndeferred, s.TasksStolen, s.Taskwaits,
+		s.TaskwaitParks, s.Barriers, s.CapturedBytes, s.WorkUnits)
+}
+
+// workerStats holds one worker's counters, padded to a cache line to
+// avoid false sharing between adjacent workers in the team slice.
+type workerStats struct {
+	tasksCreated    int64
+	tasksUndeferred int64
+	tasksStolen     int64
+	taskwaits       int64
+	taskwaitParks   int64
+	barriers        int64
+	capturedBytes   int64
+	workUnits       int64
+	privateWrites   int64
+	sharedWrites    int64
+	_               [48]byte // pad to a multiple of 64 bytes
+}
+
+func (tm *Team) aggregateStats() *Stats {
+	s := &Stats{}
+	for i := range tm.workers {
+		ws := &tm.workers[i].stats
+		s.TasksCreated += ws.tasksCreated
+		s.TasksUndeferred += ws.tasksUndeferred
+		s.TasksStolen += ws.tasksStolen
+		s.Taskwaits += ws.taskwaits
+		s.TaskwaitParks += ws.taskwaitParks
+		s.Barriers += ws.barriers
+		s.CapturedBytes += ws.capturedBytes
+		s.WorkUnits += ws.workUnits
+		s.PrivateWrites += ws.privateWrites
+		s.SharedWrites += ws.sharedWrites
+	}
+	return s
+}

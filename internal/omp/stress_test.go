@@ -1,0 +1,258 @@
+package omp
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestOrphanTasksCompleteAtBarrier exercises tasks whose parents
+// finish without a taskwait: the children ("orphans") must still be
+// executed by the region-end barrier.
+func TestOrphanTasksCompleteAtBarrier(t *testing.T) {
+	var ran atomic.Int64
+	Parallel(4, func(c *Context) {
+		c.Single(func(c *Context) {
+			for i := 0; i < 20; i++ {
+				c.Task(func(c *Context) {
+					// Parent returns immediately, leaving a deep chain
+					// of orphan descendants.
+					for d := 0; d < 5; d++ {
+						c.Task(func(c *Context) { ran.Add(1) })
+					}
+				})
+			}
+			// No taskwait on purpose.
+		})
+	})
+	if got := ran.Load(); got != 100 {
+		t.Fatalf("orphan grandchildren run = %d, want 100", got)
+	}
+}
+
+// TestMixedTiedUntiedTree interleaves tied and untied tasks in one
+// recursion and checks the result.
+func TestMixedTiedUntiedTree(t *testing.T) {
+	var count func(c *Context, depth int) int64
+	count = func(c *Context, depth int) int64 {
+		if depth == 0 {
+			return 1
+		}
+		var a, b int64
+		opts := []TaskOpt{}
+		if depth%2 == 0 {
+			opts = append(opts, Untied())
+		}
+		c.Task(func(c *Context) { a = count(c, depth-1) }, opts...)
+		c.Task(func(c *Context) { b = count(c, depth-1) }, opts...)
+		c.Taskwait()
+		return a + b
+	}
+	var got int64
+	Parallel(5, func(c *Context) {
+		c.Single(func(c *Context) {
+			got = count(c, 10)
+		})
+	})
+	if got != 1024 {
+		t.Fatalf("mixed tree leaves = %d, want 1024", got)
+	}
+}
+
+// TestRepeatedTaskwaits checks that taskwait is re-armed correctly
+// across multiple waves of children in the same task.
+func TestRepeatedTaskwaits(t *testing.T) {
+	var order []int64
+	var cur atomic.Int64
+	Parallel(3, func(c *Context) {
+		c.Single(func(c *Context) {
+			for wave := int64(0); wave < 8; wave++ {
+				wave := wave
+				for i := 0; i < 10; i++ {
+					c.Task(func(c *Context) { cur.Store(wave) })
+				}
+				c.Taskwait()
+				order = append(order, cur.Load())
+			}
+		})
+	})
+	for i, w := range order {
+		if w != int64(i) {
+			t.Fatalf("wave %d saw marker %d: taskwait leaked tasks across waves", i, w)
+		}
+	}
+}
+
+// TestManyConcurrentSingles hammers the single-construct bookkeeping.
+func TestManyConcurrentSingles(t *testing.T) {
+	var n atomic.Int64
+	Parallel(8, func(c *Context) {
+		for i := 0; i < 200; i++ {
+			c.SingleNowait(func(c *Context) { n.Add(1) })
+		}
+		c.Barrier()
+	})
+	if n.Load() != 200 {
+		t.Fatalf("singles executed %d times, want 200", n.Load())
+	}
+}
+
+// TestSequentialConsistencyOfResults checks that a wide, deep
+// task tree with shared-result writes through parent-stack pointers
+// (the fib pattern) is race-free under the runtime's synchronization:
+// taskwait must publish children's writes.
+func TestSequentialConsistencyOfResults(t *testing.T) {
+	const width = 32
+	var sum int64
+	Parallel(6, func(c *Context) {
+		c.Single(func(c *Context) {
+			results := make([]int64, width)
+			for i := 0; i < width; i++ {
+				i := i
+				c.Task(func(c *Context) {
+					// Nested: each child writes via its own children.
+					parts := make([]int64, 4)
+					for j := range parts {
+						j := j
+						c.Task(func(c *Context) { parts[j] = int64(i + j) })
+					}
+					c.Taskwait()
+					for _, p := range parts {
+						results[i] += p
+					}
+				})
+			}
+			c.Taskwait()
+			for _, r := range results {
+				sum += r
+			}
+		})
+	})
+	var want int64
+	for i := 0; i < width; i++ {
+		for j := 0; j < 4; j++ {
+			want += int64(i + j)
+		}
+	}
+	if sum != want {
+		t.Fatalf("sum = %d, want %d (lost writes across taskwait)", sum, want)
+	}
+}
+
+// TestBarrierStorm alternates short task bursts with barriers on a
+// large team. After barrier r, all tasks created before it must have
+// run (n ≥ 8·(r+1)); a fast worker may additionally have published
+// its next-round task, which a draining worker may legally execute
+// early, so only the lower bound is guaranteed.
+func TestBarrierStorm(t *testing.T) {
+	var n atomic.Int64
+	var violations atomic.Int64
+	Parallel(8, func(c *Context) {
+		for round := 0; round < 50; round++ {
+			c.Task(func(c *Context) { n.Add(1) })
+			c.Barrier()
+			if got := n.Load(); got < int64(8*(round+1)) {
+				violations.Add(1)
+			}
+		}
+	})
+	if violations.Load() != 0 {
+		t.Fatalf("%d barrier rounds released before their tasks completed", violations.Load())
+	}
+	if n.Load() != 400 {
+		t.Fatalf("total tasks = %d, want 400", n.Load())
+	}
+}
+
+// TestUntiedWaiterHelpsUnrelatedWork verifies the untied scheduling
+// relaxation: a worker waiting in an untied task must be able to
+// execute unrelated tasks (here, tasks from another subtree), which a
+// tied waiter must not.
+func TestUntiedWaiterHelpsUnrelatedWork(t *testing.T) {
+	var helped atomic.Int64
+	Parallel(1, func(c *Context) {
+		// One worker only: the untied waiter is the only thread, so
+		// unrelated work can complete only if the waiter picks it up.
+		c.Task(func(c *Context) {
+			// Unrelated task queued first (deeper in the deque).
+			c.Task(func(c *Context) { helped.Add(1) })
+			c.Task(func(c *Context) {
+				c.Task(func(c *Context) { helped.Add(1) })
+				c.Taskwait()
+			}, Untied())
+			c.Taskwait()
+		}, Untied())
+	})
+	if helped.Load() != 2 {
+		t.Fatalf("helped = %d, want 2", helped.Load())
+	}
+}
+
+// TestMaxQueueCutoffBoundsQueue checks the MaxQueue policy really
+// bounds the local deque length.
+func TestMaxQueueCutoffBoundsQueue(t *testing.T) {
+	st := Parallel(1, func(c *Context) {
+		c.Single(func(c *Context) {
+			for i := 0; i < 1000; i++ {
+				c.Task(func(c *Context) {})
+			}
+			if q := c.w.dq.size(); q > 8 {
+				t.Errorf("deque holds %d tasks, policy limit 8", q)
+			}
+			c.Taskwait()
+		})
+	}, WithCutoff(MaxQueue{Limit: 8}))
+	if st.TasksUndeferred == 0 {
+		t.Fatal("MaxQueue should undefer once the queue is full")
+	}
+}
+
+// TestAdaptiveCutoffUnderLoad checks the adaptive policy defers when
+// queues are shallow and throttles when deep.
+func TestAdaptiveCutoffUnderLoad(t *testing.T) {
+	st := Parallel(2, func(c *Context) {
+		c.Single(func(c *Context) {
+			var rec func(c *Context, d int)
+			rec = func(c *Context, d int) {
+				if d == 0 {
+					return
+				}
+				c.Task(func(c *Context) { rec(c, d-1) })
+				c.Task(func(c *Context) { rec(c, d-1) })
+				c.Taskwait()
+			}
+			rec(c, 14)
+		})
+	}, WithCutoff(Adaptive{LowWater: 2, HighWater: 8}))
+	if st.TasksCreated == 0 || st.TasksUndeferred == 0 {
+		t.Fatalf("adaptive policy should both defer and inline: %+v", st)
+	}
+}
+
+// TestHugeTeam sanity-checks a team far larger than GOMAXPROCS.
+func TestHugeTeam(t *testing.T) {
+	var n atomic.Int64
+	Parallel(64, func(c *Context) {
+		c.Task(func(c *Context) { n.Add(1) })
+		c.Barrier()
+	})
+	if n.Load() != 64 {
+		t.Fatalf("tasks = %d, want 64", n.Load())
+	}
+}
+
+// TestTaskwaitInsideForBody: taskwait inside a worksharing iteration
+// waits for the iteration's tasks only (children of the implicit
+// task include all created so far — here we just check completion
+// ordering is safe and nothing deadlocks).
+func TestTaskwaitInsideForBody(t *testing.T) {
+	var n atomic.Int64
+	Parallel(4, func(c *Context) {
+		c.For(0, 32, func(c *Context, i int) {
+			c.Task(func(c *Context) { n.Add(1) })
+			c.Taskwait()
+		}, WithSchedule(Dynamic, 1))
+	})
+	if n.Load() != 32 {
+		t.Fatalf("tasks = %d, want 32", n.Load())
+	}
+}

@@ -1,0 +1,121 @@
+package omp
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"bots/internal/trace"
+)
+
+// task is the runtime representation of an OpenMP explicit task (or
+// of a thread's implicit task, for depth 0).
+type task struct {
+	body    func(*Context)
+	parent  *task
+	team    *Team
+	creator *worker // worker that created (queued) the task; nil for implicit tasks
+
+	depth  int32
+	untied bool
+	final  bool
+
+	// pending counts outstanding (created, not yet finished) child
+	// tasks; taskwait blocks until it reaches zero.
+	pending atomic.Int64
+
+	// mu guards wake for the park/unpark protocol in taskwait.
+	mu   sync.Mutex
+	wake chan struct{}
+
+	// group is the innermost enclosing taskgroup, inherited by
+	// descendants; nil outside any taskgroup.
+	group *taskgroup
+
+	// node is the trace-recording node, nil when tracing is off.
+	node *trace.Node
+}
+
+// TaskOpt configures a single task creation.
+type TaskOpt func(*taskConfig)
+
+type taskConfig struct {
+	untied   bool
+	ifClause bool
+	final    bool
+	captured int
+}
+
+// Untied marks the task untied: at scheduling points, a thread
+// suspended in this task may execute or steal any ready task, not
+// only descendants. (Mid-execution migration to another thread is not
+// modeled; see DESIGN.md.)
+func Untied() TaskOpt { return func(c *taskConfig) { c.untied = true } }
+
+// If attaches an if clause to the task directive: when cond is false
+// the task is undeferred and executes immediately on the encountering
+// thread, but the runtime still performs task bookkeeping — exactly
+// the distinction the BOTS paper draws between the if-clause cut-off
+// (its Figure 1) and the manual cut-off (its Figure 2).
+func If(cond bool) TaskOpt { return func(c *taskConfig) { c.ifClause = cond } }
+
+// Final marks the task final: all of its descendants are undeferred.
+func Final(cond bool) TaskOpt { return func(c *taskConfig) { c.final = cond } }
+
+// Captured declares the number of bytes of captured environment
+// (firstprivate data) copied into the task. It feeds the Table II
+// accounting and the creation-cost model; it has no semantic effect.
+func Captured(bytes int) TaskOpt { return func(c *taskConfig) { c.captured = bytes } }
+
+// isDescendantOf reports whether t is a descendant of anc.
+func (t *task) isDescendantOf(anc *task) bool {
+	for p := t.parent; p != nil; p = p.parent {
+		if p == anc {
+			return true
+		}
+		if p.depth <= anc.depth {
+			return false
+		}
+	}
+	return false
+}
+
+// finish performs completion bookkeeping for t: decrement the team's
+// live-task count, the enclosing taskgroup's live count, and the
+// parent's pending count, waking a parked taskwait if this was the
+// last outstanding child.
+func (t *task) finish() {
+	if p := t.parent; p != nil {
+		if p.pending.Add(-1) == 0 {
+			p.mu.Lock()
+			if p.wake != nil {
+				select {
+				case p.wake <- struct{}{}:
+				default:
+				}
+			}
+			p.mu.Unlock()
+		}
+	}
+	if t.group != nil {
+		t.group.leave()
+	}
+	t.team.liveTasks.Add(-1)
+}
+
+// park blocks until a child-completion signal arrives or the task's
+// pending count is observed at zero. The check-then-sleep is made
+// race-free by taking t.mu around the re-check and channel
+// installation, while finish signals under the same mutex.
+func (t *task) park() {
+	t.mu.Lock()
+	if t.pending.Load() == 0 {
+		t.mu.Unlock()
+		return
+	}
+	if t.wake == nil {
+		t.wake = make(chan struct{}, 1)
+	}
+	ch := t.wake
+	t.mu.Unlock()
+	<-ch
+}

@@ -1,0 +1,86 @@
+package omp
+
+// TaskloopOpt configures a Taskloop construct.
+type TaskloopOpt func(*taskloopConfig)
+
+type taskloopConfig struct {
+	grainsize int
+	numTasks  int
+	untied    bool
+	nogroup   bool
+}
+
+// Grainsize sets the iterations-per-task chunk (OpenMP grainsize
+// clause). Mutually exclusive with NumTasks; the last one set wins.
+func Grainsize(n int) TaskloopOpt {
+	return func(c *taskloopConfig) { c.grainsize = n; c.numTasks = 0 }
+}
+
+// NumTasks sets the number of generated tasks (OpenMP num_tasks
+// clause).
+func NumTasks(n int) TaskloopOpt {
+	return func(c *taskloopConfig) { c.numTasks = n; c.grainsize = 0 }
+}
+
+// TaskloopUntied makes the generated tasks untied.
+func TaskloopUntied() TaskloopOpt { return func(c *taskloopConfig) { c.untied = true } }
+
+// Nogroup removes the implicit taskgroup: Taskloop returns without
+// waiting for the generated tasks.
+func Nogroup() TaskloopOpt { return func(c *taskloopConfig) { c.nogroup = true } }
+
+// Taskloop executes body(c, i) for every i in [lo, hi) by splitting
+// the iteration space into chunks and creating one explicit task per
+// chunk (the OpenMP 4.5 taskloop construct — the standardized form of
+// the "tasks inside a loop" pattern BOTS Alignment and SparseLU hand
+// roll). Unless Nogroup is given, Taskloop waits for all generated
+// tasks (and their descendants) before returning, per the implicit
+// taskgroup of the construct.
+//
+// Unlike For, Taskloop is not a worksharing construct: exactly one
+// thread encounters it (typically inside Single) and the runtime
+// spreads the chunks through the task pool.
+func (c *Context) Taskloop(lo, hi int, body func(*Context, int), opts ...TaskloopOpt) {
+	cfg := taskloopConfig{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	total := hi - lo
+	if total <= 0 {
+		return
+	}
+	chunk := cfg.grainsize
+	if cfg.numTasks > 0 {
+		chunk = (total + cfg.numTasks - 1) / cfg.numTasks
+	}
+	if chunk <= 0 {
+		// Default: aim for a few chunks per thread.
+		chunk = total / (4 * c.NumThreads())
+		if chunk < 1 {
+			chunk = 1
+		}
+	}
+	var topts []TaskOpt
+	if cfg.untied {
+		topts = append(topts, Untied())
+	}
+	emit := func(c *Context) {
+		for base := lo; base < hi; base += chunk {
+			base := base
+			end := base + chunk
+			if end > hi {
+				end = hi
+			}
+			c.Task(func(c *Context) {
+				for i := base; i < end; i++ {
+					body(c, i)
+				}
+			}, topts...)
+		}
+	}
+	if cfg.nogroup {
+		emit(c)
+		return
+	}
+	c.Taskgroup(emit)
+}

@@ -1,0 +1,87 @@
+package omp
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestTaskloopCoversRange(t *testing.T) {
+	const n = 1000
+	counts := make([]atomic.Int32, n)
+	Parallel(4, func(c *Context) {
+		c.Single(func(c *Context) {
+			c.Taskloop(0, n, func(c *Context, i int) {
+				counts[i].Add(1)
+			})
+		})
+	})
+	for i := range counts {
+		if counts[i].Load() != 1 {
+			t.Fatalf("iteration %d ran %d times", i, counts[i].Load())
+		}
+	}
+}
+
+func TestTaskloopGrainsize(t *testing.T) {
+	st := Parallel(2, func(c *Context) {
+		c.Single(func(c *Context) {
+			c.Taskloop(0, 100, func(c *Context, i int) {}, Grainsize(10))
+		})
+	})
+	if st.TasksCreated != 10 {
+		t.Fatalf("grainsize 10 over 100 iterations created %d tasks, want 10", st.TasksCreated)
+	}
+}
+
+func TestTaskloopNumTasks(t *testing.T) {
+	st := Parallel(2, func(c *Context) {
+		c.Single(func(c *Context) {
+			c.Taskloop(0, 100, func(c *Context, i int) {}, NumTasks(7))
+		})
+	})
+	if st.TasksCreated != 7 {
+		t.Fatalf("NumTasks(7) created %d tasks, want 7", st.TasksCreated)
+	}
+}
+
+func TestTaskloopWaitsViaTaskgroup(t *testing.T) {
+	var done atomic.Int64
+	Parallel(4, func(c *Context) {
+		c.Single(func(c *Context) {
+			c.Taskloop(0, 64, func(c *Context, i int) {
+				// Nested task: the implicit taskgroup must wait for
+				// descendants too, not just the chunk tasks.
+				c.Task(func(c *Context) { done.Add(1) })
+			}, Grainsize(4))
+			if got := done.Load(); got != 64 {
+				t.Errorf("after taskloop: %d nested tasks done, want 64", got)
+			}
+		})
+	})
+}
+
+func TestTaskloopNogroup(t *testing.T) {
+	var ran atomic.Int64
+	Parallel(2, func(c *Context) {
+		c.Single(func(c *Context) {
+			c.Taskloop(0, 32, func(c *Context, i int) { ran.Add(1) }, Nogroup(), Grainsize(1))
+			// No wait here; the region-end barrier picks them up.
+		})
+	})
+	if ran.Load() != 32 {
+		t.Fatalf("ran = %d, want 32", ran.Load())
+	}
+}
+
+func TestTaskloopEmptyAndUntied(t *testing.T) {
+	var ran atomic.Int64
+	Parallel(2, func(c *Context) {
+		c.Single(func(c *Context) {
+			c.Taskloop(5, 5, func(c *Context, i int) { ran.Add(1) })
+			c.Taskloop(0, 16, func(c *Context, i int) { ran.Add(1) }, TaskloopUntied())
+		})
+	})
+	if ran.Load() != 16 {
+		t.Fatalf("ran = %d, want 16", ran.Load())
+	}
+}

@@ -1,0 +1,284 @@
+package omp
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bots/internal/trace"
+)
+
+// Policy selects the order in which a worker consumes its own deque.
+type Policy uint8
+
+const (
+	// WorkFirst pops the worker's own deque LIFO (depth-first), the
+	// classic work-stealing discipline: thieves still steal FIFO from
+	// the top, taking the shallowest (largest) subtrees.
+	WorkFirst Policy = iota
+	// BreadthFirst consumes the worker's own deque FIFO as well, so
+	// tasks execute roughly in creation order.
+	BreadthFirst
+)
+
+func (p Policy) String() string {
+	switch p {
+	case WorkFirst:
+		return "work-first"
+	case BreadthFirst:
+		return "breadth-first"
+	}
+	return "unknown"
+}
+
+// Team is one parallel region's thread team: a set of workers with
+// work-stealing deques executing an SPMD region body plus the
+// explicit tasks it creates.
+type Team struct {
+	workers []*worker
+	cutoff  CutoffPolicy
+	policy  Policy
+	rec     *trace.Recorder
+
+	// liveTasks counts deferred tasks created and not yet finished;
+	// barriers wait for it to reach zero.
+	liveTasks atomic.Int64
+
+	// Barrier state (sense-reversing, task-executing).
+	barGen     atomic.Int64
+	barArrived atomic.Int64
+
+	// Worksharing bookkeeping: per-construct-instance state, keyed by
+	// each thread's private construct counter (all threads encounter
+	// worksharing constructs in the same order, per OpenMP rules).
+	wsMu      sync.Mutex
+	wsSingles map[int64]bool
+	wsLoops   map[int64]*loopState
+
+	// panicVal holds the first panic raised by a task or region body;
+	// Parallel re-raises it after the region completes.
+	panicMu  sync.Mutex
+	panicVal any
+}
+
+// TeamOpt configures a parallel region.
+type TeamOpt func(*teamConfig)
+
+type teamConfig struct {
+	cutoff CutoffPolicy
+	policy Policy
+	rec    *trace.Recorder
+}
+
+// WithCutoff installs a runtime cut-off policy (default NoCutoff).
+func WithCutoff(p CutoffPolicy) TeamOpt { return func(c *teamConfig) { c.cutoff = p } }
+
+// WithPolicy selects the local scheduling policy (default WorkFirst).
+func WithPolicy(p Policy) TeamOpt { return func(c *teamConfig) { c.policy = p } }
+
+// WithRecorder attaches a task-graph recorder; every task event in
+// the region is recorded for later simulation.
+func WithRecorder(r *trace.Recorder) TeamOpt { return func(c *teamConfig) { c.rec = r } }
+
+// worker is one team thread.
+type worker struct {
+	id   int
+	team *Team
+	dq   *deque
+	cur  *task // task currently executing on this worker
+
+	singleIdx int64 // private counter of single constructs encountered
+	loopIdx   int64 // private counter of loop constructs encountered
+
+	rng   uint64 // victim-selection PRNG state
+	stats workerStats
+}
+
+// Parallel executes body on a team of n threads, each running in its
+// own goroutine, with an implicit task-executing barrier at the end
+// of the region (the region returns only when every explicit task has
+// completed). It returns the region's aggregated runtime statistics.
+//
+// Nested Parallel calls are not supported (the BOTS benchmarks do not
+// use nested parallel regions); use tasks for nested parallelism.
+func Parallel(n int, body func(*Context), opts ...TeamOpt) *Stats {
+	if n < 1 {
+		n = 1
+	}
+	cfg := teamConfig{cutoff: NoCutoff{}, policy: WorkFirst}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	tm := &Team{
+		cutoff:    cfg.cutoff,
+		policy:    cfg.policy,
+		rec:       cfg.rec,
+		wsSingles: make(map[int64]bool),
+		wsLoops:   make(map[int64]*loopState),
+	}
+	tm.workers = make([]*worker, n)
+	implicit := make([]*task, n)
+	for i := 0; i < n; i++ {
+		tm.workers[i] = &worker{id: i, team: tm, dq: newDeque(), rng: uint64(i)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d}
+		it := &task{team: tm, untied: false}
+		if tm.rec != nil {
+			it.node = tm.rec.Root()
+		}
+		implicit[i] = it
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		w := tm.workers[i]
+		it := implicit[i]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.cur = it
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						tm.recordPanic(r)
+					}
+				}()
+				body(&Context{w: w, task: it})
+			}()
+			// Join the final barrier even if the body panicked, so
+			// the rest of the team is not wedged waiting for us.
+			tm.barrier(w)
+		}()
+	}
+	wg.Wait()
+	if tm.panicVal != nil {
+		panic(tm.panicVal)
+	}
+	return tm.aggregateStats()
+}
+
+// barrier is the team barrier: a scheduling point at which arriving
+// workers execute queued tasks (from any deque, unconstrained) until
+// every worker has arrived and no live task remains, as OpenMP
+// requires of barriers.
+func (tm *Team) barrier(w *worker) {
+	w.stats.barriers++
+	gen := tm.barGen.Load()
+	tm.barArrived.Add(1)
+	idle := 0
+	for tm.barGen.Load() == gen {
+		if w.runOne(nil) {
+			idle = 0
+			continue
+		}
+		if tm.barArrived.Load() == int64(len(tm.workers)) && tm.liveTasks.Load() == 0 {
+			if tm.barArrived.CompareAndSwap(int64(len(tm.workers)), 0) {
+				tm.barGen.Add(1)
+			}
+			continue
+		}
+		idle++
+		idlePause(idle)
+	}
+}
+
+// idlePause backs off progressively: spin, yield, then sleep briefly.
+func idlePause(n int) {
+	switch {
+	case n < 4:
+		// busy spin
+	case n < 64:
+		runtime.Gosched()
+	default:
+		time.Sleep(20 * time.Microsecond)
+	}
+}
+
+// runOne tries to execute one ready task, honouring the OpenMP task
+// scheduling constraint: when constraint is non-nil (a suspended tied
+// task), only descendants of that task may run on this thread. It
+// returns true if a task was executed.
+func (w *worker) runOne(constraint *task) bool {
+	// 1. Own deque. A constrained (tied) waiter must use the LIFO
+	// bottom end regardless of policy: its own unstarted children are
+	// always the most recent pushes, so this is the only end where
+	// progress toward the taskwait is guaranteed — with FIFO
+	// consumption they could sit buried behind non-descendants and
+	// every worker could park with runnable children queued.
+	var t *task
+	if w.team.policy == BreadthFirst && constraint == nil {
+		t = w.dq.steal() // FIFO end of own deque
+	} else {
+		t = w.dq.popBottom()
+		if t != nil && constraint != nil && !t.isDescendantOf(constraint) {
+			// Cannot run it here now; put it back for thieves and park.
+			w.dq.pushBottom(t)
+			t = nil
+		}
+	}
+	if t != nil {
+		w.execute(t, t.parent != nil && t.creator != w)
+		return true
+	}
+	// 2. Steal from a random victim, then sweep the rest.
+	n := len(w.team.workers)
+	if n == 1 {
+		return false
+	}
+	var pred func(*task) bool
+	if constraint != nil {
+		pred = func(c *task) bool { return c.isDescendantOf(constraint) }
+	}
+	start := int(w.nextRand() % uint64(n))
+	for i := 0; i < n; i++ {
+		v := w.team.workers[(start+i)%n]
+		if v == w {
+			continue
+		}
+		if t := v.dq.stealIf(pred); t != nil {
+			w.execute(t, true)
+			return true
+		}
+	}
+	return false
+}
+
+// execute runs task t to completion on w (tasks never migrate once
+// started: tied semantics are the baseline, and untied tasks differ
+// only in their scheduling-point flexibility). A panic in the task
+// body is contained: completion bookkeeping still runs (so waiters
+// and barriers are not wedged), the first panic value is recorded,
+// and Parallel re-raises it after the region drains.
+func (w *worker) execute(t *task, stolen bool) {
+	if stolen {
+		w.stats.tasksStolen++
+	}
+	prev := w.cur
+	w.cur = t
+	defer func() {
+		if r := recover(); r != nil {
+			w.team.recordPanic(r)
+		}
+		t.finish()
+		w.cur = prev
+	}()
+	t.body(&Context{w: w, task: t})
+}
+
+// recordPanic stores the first panic raised by any task or region
+// body of the team.
+func (tm *Team) recordPanic(v any) {
+	tm.panicMu.Lock()
+	if tm.panicVal == nil {
+		tm.panicVal = v
+	}
+	tm.panicMu.Unlock()
+}
+
+// nextRand is xorshift64* for victim selection.
+func (w *worker) nextRand() uint64 {
+	x := w.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	w.rng = x
+	return x * 0x2545f4914f6cdd1d
+}

@@ -1,0 +1,36 @@
+package omp
+
+// ThreadPrivate provides per-thread storage analogous to OpenMP's
+// threadprivate directive: one padded slot per team thread, indexed
+// by thread number, with no cross-thread synchronization. BOTS
+// NQueens uses it to accumulate per-thread solution counts that are
+// reduced under a critical section at region end, avoiding contention
+// on every solution found.
+type ThreadPrivate[T any] struct {
+	slots []paddedSlot[T]
+}
+
+// paddedSlot pads each value to its own cache line(s) so per-thread
+// counters do not false-share.
+type paddedSlot[T any] struct {
+	v T
+	_ [64]byte
+}
+
+// NewThreadPrivate returns storage for a team of n threads, each slot
+// zero-valued.
+func NewThreadPrivate[T any](n int) *ThreadPrivate[T] {
+	return &ThreadPrivate[T]{slots: make([]paddedSlot[T], n)}
+}
+
+// Get returns a pointer to the calling thread's slot.
+func (tp *ThreadPrivate[T]) Get(c *Context) *T {
+	return &tp.slots[c.ThreadNum()].v
+}
+
+// Slot returns a pointer to slot i directly; intended for the
+// reduction phase after the parallel region.
+func (tp *ThreadPrivate[T]) Slot(i int) *T { return &tp.slots[i].v }
+
+// Len returns the number of slots.
+func (tp *ThreadPrivate[T]) Len() int { return len(tp.slots) }

@@ -1,0 +1,60 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"bots/internal/core"
+	"bots/internal/trace"
+)
+
+// TableAnalysis renders the work/span analysis of every benchmark's
+// best version: total work W, critical path (span) S, and average
+// parallelism W/S — the scheduler-independent speedup ceiling. This
+// artifact goes beyond the paper's tables but explains its Figure 3
+// directly: applications saturate either because W/S is low
+// (structural) or because they are memory-bound (the bandwidth term
+// of the cost model); the table separates the two causes.
+func TableAnalysis(w io.Writer, class core.Class) error {
+	fmt.Fprintf(w, "Task-graph analysis — best version per application (%s class)\n\n", class)
+	header := []string{
+		"Application", "Version", "Tasks", "Work (units)", "Span (units)",
+		"Parallelism", "Max depth", "p50 task", "p90 task",
+	}
+	var rows [][]string
+	for _, b := range core.All() {
+		a, err := AnalyzeBenchmark(b, b.BestVersion, class)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, []string{
+			b.Name, b.BestVersion,
+			fmt.Sprintf("%d", a.Tasks),
+			fmt.Sprintf("%d", a.Work),
+			fmt.Sprintf("%d", a.Span),
+			fmt.Sprintf("%.1f", a.Parallelism),
+			fmt.Sprintf("%d", a.MaxDepth),
+			fmt.Sprintf("%d", a.WorkP50),
+			fmt.Sprintf("%d", a.WorkP90),
+		})
+	}
+	WriteTable(w, header, rows)
+	fmt.Fprintln(w)
+	return nil
+}
+
+// AnalyzeBenchmark records one version on a single-thread team and
+// returns its task-graph analysis.
+func AnalyzeBenchmark(b *core.Benchmark, version string, class core.Class) (trace.Analysis, error) {
+	rec := trace.NewRecorder()
+	if _, err := b.Run(core.RunConfig{
+		Class: class, Version: version, Threads: 1, Recorder: rec,
+	}); err != nil {
+		return trace.Analysis{}, fmt.Errorf("report: analyzing %s/%s: %w", b.Name, version, err)
+	}
+	tr := rec.Finish()
+	if err := tr.Validate(); err != nil {
+		return trace.Analysis{}, fmt.Errorf("report: %s/%s trace: %w", b.Name, version, err)
+	}
+	return trace.Analyze(tr), nil
+}

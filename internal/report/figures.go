@@ -1,0 +1,279 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"bots/internal/core"
+	"bots/internal/omp"
+	"bots/internal/sim"
+)
+
+// Fig3 regenerates the paper's Figure 3: the speedup of the best
+// version of each application across the thread axis.
+func Fig3(w io.Writer, class core.Class, threads []int) error {
+	var all []Series
+	for _, b := range core.Paper() {
+		if b.Name == "fib" {
+			// The paper's Figure 3 plots eight applications; fib is
+			// the microbenchmark used in the cut-off study instead.
+			continue
+		}
+		s, err := SpeedupSeries(b, b.BestVersion, SeriesConfig{Class: class, Threads: threads})
+		if err != nil {
+			return err
+		}
+		all = append(all, s)
+	}
+	WriteChart(w, fmt.Sprintf("Figure 3 — speedup of the best version per application (%s class)", class), all)
+	return nil
+}
+
+// Fig4 regenerates Figure 4: the NQueens benchmark under the three
+// cut-off mechanisms. The no-cut-off curve runs under the runtime's
+// task-count cut-off, mirroring the paper's setup where "only the one
+// implemented by the runtime (if any) is in use" and the Intel
+// runtime bounds the number of live tasks.
+func Fig4(w io.Writer, class core.Class, threads []int) error {
+	b, err := core.Get("nqueens")
+	if err != nil {
+		return err
+	}
+	var all []Series
+	type cfg struct {
+		version string
+		label   string
+		rt      omp.CutoffPolicy
+	}
+	for _, c := range []cfg{
+		{"if-untied", "with if clause cut-off", nil},
+		{"manual-untied", "with manual cut-off", nil},
+		{"none-untied", "with no cut-off (runtime maxtasks)", omp.MaxTasks{}},
+	} {
+		s, err := SpeedupSeries(b, c.version, SeriesConfig{
+			Class: class, Threads: threads, RuntimeCutoff: c.rt,
+		})
+		if err != nil {
+			return err
+		}
+		s.Label = c.label
+		all = append(all, s)
+	}
+	WriteChart(w, fmt.Sprintf("Figure 4 — NQueens under different cut-off mechanisms (%s class)", class), all)
+	return nil
+}
+
+// Fig5 regenerates Figure 5: tied vs untied tasks on Alignment and
+// NQueens.
+func Fig5(w io.Writer, class core.Class, threads []int) error {
+	var all []Series
+	type pick struct{ bench, tiedV, untiedV string }
+	for _, p := range []pick{
+		{"alignment", "tied", "untied"},
+		{"nqueens", "manual-tied", "manual-untied"},
+	} {
+		b, err := core.Get(p.bench)
+		if err != nil {
+			return err
+		}
+		for _, v := range []string{p.tiedV, p.untiedV} {
+			s, err := SpeedupSeries(b, v, SeriesConfig{Class: class, Threads: threads})
+			if err != nil {
+				return err
+			}
+			all = append(all, s)
+		}
+	}
+	WriteChart(w, fmt.Sprintf("Figure 5 — tied vs untied tasks (%s class)", class), all)
+	return nil
+}
+
+// FigExtensions reports the speedup of the extension benchmarks (UTS
+// and Knapsack, the suite additions the paper's §V announces) with
+// their best versions, alongside their cut-off sensitivity — UTS's
+// unbalanced implicit tree is the canonical work-stealing stressor.
+func FigExtensions(w io.Writer, class core.Class, threads []int) error {
+	var all []Series
+	for _, b := range core.Extensions() {
+		best, err := SpeedupSeries(b, b.BestVersion, SeriesConfig{Class: class, Threads: threads})
+		if err != nil {
+			return err
+		}
+		all = append(all, best)
+		none, err := SpeedupSeries(b, "none-tied", SeriesConfig{Class: class, Threads: threads})
+		if err != nil {
+			return err
+		}
+		all = append(all, none)
+	}
+	WriteChart(w, fmt.Sprintf("Extensions — post-paper suite additions (%s class)", class), all)
+	return nil
+}
+
+// AblationThreadSwitch runs the §IV-C counterfactual the paper could
+// not: its first hypothesis for the negligible tied/untied gap is
+// that "the Intel Compiler does not implement thread switching and
+// thus untied tasks cannot benefit from this feature which should
+// avoid imbalances". The simulator can implement it, so this ablation
+// compares untied tasks without and with continuation migration on
+// the imbalanced benchmarks.
+func AblationThreadSwitch(w io.Writer, class core.Class, threads []int) error {
+	fmt.Fprintf(w, "Ablation — untied thread switching (the paper's §IV-C counterfactual)\n\n")
+	var all []Series
+	for _, pick := range []struct{ bench, version string }{
+		{"floorplan", "manual-untied"},
+		{"health", "manual-untied"},
+		{"nqueens", "manual-untied"},
+	} {
+		b, err := core.Get(pick.bench)
+		if err != nil {
+			return err
+		}
+		for _, ts := range []bool{false, true} {
+			p := sim.DefaultOverheads()
+			p.ThreadSwitch = ts
+			p.SwitchNS = 800 // a migrated continuation restarts cold
+			s, err := SpeedupSeries(b, pick.version, SeriesConfig{
+				Class: class, Threads: threads, Overheads: &p,
+			})
+			if err != nil {
+				return err
+			}
+			if ts {
+				s.Label += " +switch"
+			}
+			all = append(all, s)
+		}
+	}
+	WriteChart(w, "untied speedups without and with continuation migration", all)
+	return nil
+}
+
+// AblationQueueArch contrasts distributed per-worker deques (the
+// runtime's architecture) with a central shared task queue whose
+// every operation serializes through one lock — a core implementation
+// decision the paper's §III motivation leaves to vendors. Fine-grained
+// benchmarks expose the collapse.
+func AblationQueueArch(w io.Writer, class core.Class, threads []int) error {
+	fmt.Fprintf(w, "Ablation — task-queue architecture (per-worker deques vs central queue)\n\n")
+	var all []Series
+	for _, pick := range []struct{ bench, version string }{
+		{"fib", "manual-tied"},
+		{"sort", "untied"},
+	} {
+		b, err := core.Get(pick.bench)
+		if err != nil {
+			return err
+		}
+		for _, central := range []bool{false, true} {
+			p := sim.DefaultOverheads()
+			if central {
+				p.QueueSerializeNS = 120
+			}
+			s, err := SpeedupSeries(b, pick.version, SeriesConfig{
+				Class: class, Threads: threads, Overheads: &p,
+			})
+			if err != nil {
+				return err
+			}
+			if central {
+				s.Label += " central-queue"
+			} else {
+				s.Label += " deques"
+			}
+			all = append(all, s)
+		}
+	}
+	WriteChart(w, "speedups under both queue architectures", all)
+	return nil
+}
+
+// AblationCutoffDepth sweeps the depth-based cut-off value (§IV-D:
+// "Choosing a low cut-off value can restrict parallelism ... a high
+// cut-off value can saturate the system") on fib with the manual and
+// if-clause mechanisms at a fixed thread count.
+func AblationCutoffDepth(w io.Writer, class core.Class, threads int, depths []int) error {
+	b, err := core.Get("fib")
+	if err != nil {
+		return err
+	}
+	if depths == nil {
+		depths = []int{2, 4, 6, 8, 12, 16}
+	}
+	fmt.Fprintf(w, "Ablation — cut-off value sweep: fib (%s class, %d threads)\n\n", class, threads)
+	header := []string{"cut-off depth", "manual speedup", "manual tasks", "if-clause speedup", "if-clause tasks"}
+	var rows [][]string
+	for _, d := range depths {
+		man, err := SpeedupSeries(b, "manual-tied", SeriesConfig{
+			Class: class, Threads: []int{threads}, CutoffDepth: d,
+		})
+		if err != nil {
+			return err
+		}
+		ifc, err := SpeedupSeries(b, "if-tied", SeriesConfig{
+			Class: class, Threads: []int{threads}, CutoffDepth: d,
+		})
+		if err != nil {
+			return err
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", d),
+			fmt.Sprintf("%.2f", man.Points[0].Speedup),
+			fmt.Sprintf("%d", man.Points[0].Tasks),
+			fmt.Sprintf("%.2f", ifc.Points[0].Speedup),
+			fmt.Sprintf("%d", ifc.Points[0].Tasks),
+		})
+	}
+	WriteTable(w, header, rows)
+	fmt.Fprintln(w)
+	return nil
+}
+
+// AblationPolicy compares the work-first (LIFO) and breadth-first
+// (FIFO) local queue disciplines (§IV-D's task-scheduling-policy
+// study) on a recursive and an iterative benchmark.
+func AblationPolicy(w io.Writer, class core.Class, threads []int) error {
+	fmt.Fprintf(w, "Ablation — local scheduling policy (work-first vs breadth-first)\n\n")
+	var all []Series
+	for _, name := range []string{"sort", "sparselu"} {
+		b, err := core.Get(name)
+		if err != nil {
+			return err
+		}
+		for _, bf := range []bool{false, true} {
+			s, err := SpeedupSeries(b, b.BestVersion, SeriesConfig{
+				Class: class, Threads: threads, BreadthFirst: bf,
+			})
+			if err != nil {
+				return err
+			}
+			if bf {
+				s.Label += " breadth-first"
+			} else {
+				s.Label += " work-first"
+			}
+			all = append(all, s)
+		}
+	}
+	WriteChart(w, "speedups under both disciplines", all)
+	return nil
+}
+
+// AblationGenerators compares SparseLU's single-generator and
+// multiple-generator (for worksharing) versions (§IV-D).
+func AblationGenerators(w io.Writer, class core.Class, threads []int) error {
+	b, err := core.Get("sparselu")
+	if err != nil {
+		return err
+	}
+	var all []Series
+	for _, v := range b.Versions {
+		s, err := SpeedupSeries(b, v, SeriesConfig{Class: class, Threads: threads})
+		if err != nil {
+			return err
+		}
+		all = append(all, s)
+	}
+	WriteChart(w, fmt.Sprintf("Ablation — SparseLU task generation schemes (%s class)", class), all)
+	return nil
+}

@@ -1,0 +1,117 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteTable renders rows as an aligned ASCII table.
+func WriteTable(w io.Writer, header []string, rows [][]string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range rows {
+		line(r)
+	}
+}
+
+// WriteChart renders speedup-vs-threads series as an ASCII chart with
+// one marker letter per series, plus a legend and the numeric table.
+func WriteChart(w io.Writer, title string, series []Series) {
+	fmt.Fprintf(w, "%s\n\n", title)
+	if len(series) == 0 {
+		return
+	}
+	// Numeric table first: threads as rows, one column per series.
+	header := []string{"threads"}
+	for _, s := range series {
+		header = append(header, s.Label)
+	}
+	var rows [][]string
+	for i := range series[0].Points {
+		row := []string{fmt.Sprintf("%d", series[0].Points[i].Threads)}
+		for _, s := range series {
+			if i < len(s.Points) {
+				row = append(row, fmt.Sprintf("%.2f", s.Points[i].Speedup))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+	WriteTable(w, header, rows)
+	fmt.Fprintln(w)
+
+	// ASCII chart: x = thread index, y = speedup.
+	const height = 16
+	maxY := 1.0
+	maxT := 1
+	for _, s := range series {
+		for _, p := range s.Points {
+			if p.Speedup > maxY {
+				maxY = p.Speedup
+			}
+			if p.Threads > maxT {
+				maxT = p.Threads
+			}
+		}
+	}
+	width := 2 * len(series[0].Points)
+	grid := make([][]byte, height+1)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width+1))
+	}
+	for si, s := range series {
+		marker := byte('A' + si%26)
+		for pi, p := range s.Points {
+			x := 2 * pi
+			y := int(p.Speedup / maxY * float64(height))
+			if y > height {
+				y = height
+			}
+			row := height - y
+			if grid[row][x] == ' ' {
+				grid[row][x] = marker
+			} else {
+				grid[row][x] = '*' // overlapping points
+			}
+		}
+	}
+	for i, row := range grid {
+		yVal := maxY * float64(height-i) / float64(height)
+		fmt.Fprintf(w, "%6.1f |%s\n", yVal, string(row))
+	}
+	fmt.Fprintf(w, "       +%s\n", strings.Repeat("-", width+1))
+	var axis strings.Builder
+	axis.WriteString("        ")
+	for _, p := range series[0].Points {
+		axis.WriteString(fmt.Sprintf("%-2d", p.Threads))
+	}
+	fmt.Fprintln(w, axis.String())
+	for si, s := range series {
+		fmt.Fprintf(w, "  %c = %s\n", byte('A'+si%26), s.Label)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,145 @@
+// Package report regenerates the paper's evaluation artifacts: the
+// application summary (Table I), the per-task application
+// characteristics (Table II), the overall speedup study (Figure 3),
+// the cut-off mechanism comparison (Figure 4), the tied-vs-untied
+// comparison (Figure 5), and the §IV-D ablations (cut-off values,
+// scheduling policies, generator schemes).
+//
+// Speedup series are produced by the trace-and-simulate pipeline
+// described in DESIGN.md: the real omp runtime executes a version on
+// a T-thread team while recording its task graph, and the
+// discrete-event simulator replays the graph on T virtual threads
+// under a calibrated cost model. The serial baseline is the measured
+// sequential run, exactly as the paper computes its speedups (with
+// Floorplan's nodes-per-second substitution handled by the invariant
+// node set of a recorded trace).
+package report
+
+import (
+	"fmt"
+
+	"bots/internal/core"
+	"bots/internal/omp"
+	"bots/internal/sim"
+	"bots/internal/trace"
+)
+
+// PaperThreads is the thread axis of the paper's figures.
+var PaperThreads = []int{1, 2, 4, 8, 16, 24, 32}
+
+// SeriesPoint is one (threads, speedup) sample with its provenance.
+type SeriesPoint struct {
+	Threads int
+	Speedup float64
+	// Tasks is the number of explicit tasks in the recorded trace.
+	Tasks int
+	// Steals and Parks expose the simulated scheduler's behaviour.
+	Steals, Parks int64
+}
+
+// Series is one labelled speedup curve.
+type Series struct {
+	Label  string
+	Points []SeriesPoint
+}
+
+// SeriesConfig configures a speedup-series computation.
+type SeriesConfig struct {
+	Class core.Class
+	// Threads is the thread axis; nil means PaperThreads.
+	Threads []int
+	// CutoffDepth overrides the app depth cut-off (0 = default).
+	CutoffDepth int
+	// RuntimeCutoff is the runtime policy for the real recording run.
+	RuntimeCutoff omp.CutoffPolicy
+	// BreadthFirst switches the simulated local queue discipline.
+	BreadthFirst bool
+	// Overheads overrides the simulator cost model's task-management
+	// constants; zero-valued fields keep sim.DefaultOverheads.
+	Overheads *sim.Params
+}
+
+// calibCache caches sequential baselines per (benchmark, class).
+var calibCache = map[string]*core.SeqResult{}
+
+// Baseline returns (and caches) the sequential reference for b/class.
+func Baseline(b *core.Benchmark, class core.Class) (*core.SeqResult, error) {
+	key := b.Name + "/" + class.String()
+	if r, ok := calibCache[key]; ok {
+		return r, nil
+	}
+	r, err := b.Seq(class)
+	if err != nil {
+		return nil, err
+	}
+	calibCache[key] = r
+	return r, nil
+}
+
+// simParams assembles the simulator cost model for a benchmark: task
+// overheads (defaults or overrides), the benchmark's memory profile,
+// and the work-unit calibration from the sequential run.
+func simParams(b *core.Benchmark, seq *core.SeqResult, cfg SeriesConfig) sim.Params {
+	p := sim.DefaultOverheads()
+	if cfg.Overheads != nil {
+		p = *cfg.Overheads
+	}
+	p.WorkUnitNS = float64(seq.Elapsed.Nanoseconds()) / float64(seq.Work)
+	if p.WorkUnitNS <= 0 {
+		p.WorkUnitNS = 1
+	}
+	p.MemFraction = b.Profile.MemFraction
+	p.BandwidthCap = b.Profile.BandwidthCap
+	p.BreadthFirst = cfg.BreadthFirst
+	return p
+}
+
+// SpeedupSeries records and simulates one benchmark version across
+// the thread axis.
+func SpeedupSeries(b *core.Benchmark, version string, cfg SeriesConfig) (Series, error) {
+	if !b.HasVersion(version) {
+		return Series{}, fmt.Errorf("report: %s has no version %q", b.Name, version)
+	}
+	threads := cfg.Threads
+	if threads == nil {
+		threads = PaperThreads
+	}
+	seq, err := Baseline(b, cfg.Class)
+	if err != nil {
+		return Series{}, err
+	}
+	params := simParams(b, seq, cfg)
+	s := Series{Label: fmt.Sprintf("%s (%s)", b.Name, version)}
+	for _, t := range threads {
+		rec := trace.NewRecorder()
+		res, err := b.Run(core.RunConfig{
+			Class:         cfg.Class,
+			Version:       version,
+			Threads:       t,
+			CutoffDepth:   cfg.CutoffDepth,
+			RuntimeCutoff: cfg.RuntimeCutoff,
+			Recorder:      rec,
+		})
+		if err != nil {
+			return Series{}, fmt.Errorf("report: %s/%s on %d threads: %w", b.Name, version, t, err)
+		}
+		if err := b.Check(seq, res); err != nil {
+			return Series{}, fmt.Errorf("report: %s/%s on %d threads failed verification: %w",
+				b.Name, version, t, err)
+		}
+		tr := rec.Finish()
+		simRes, err := sim.Run(tr, t, params)
+		if err != nil {
+			return Series{}, fmt.Errorf("report: simulating %s/%s on %d threads: %w",
+				b.Name, version, t, err)
+		}
+		s.Points = append(s.Points, SeriesPoint{
+			Threads: t,
+			Speedup: simRes.Speedup,
+			Tasks:   tr.NumTasks(),
+			Steals:  simRes.Steals,
+			Parks:   simRes.Parks,
+		})
+	}
+	return s, nil
+}

@@ -1,0 +1,145 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"bots/internal/core"
+)
+
+// Table1 renders the application summary (paper Table I) from the
+// registry metadata.
+func Table1(w io.Writer) {
+	fmt.Fprintf(w, "Table I — BOTS applications summary\n\n")
+	header := []string{
+		"Application", "Origin", "Domain", "Computation structure",
+		"#task directives", "tasks inside omp...", "nested tasks", "Application cut-off",
+	}
+	var rows [][]string
+	for _, b := range core.Paper() {
+		nested := "no"
+		if b.NestedTasks {
+			nested = "yes"
+		}
+		rows = append(rows, []string{
+			b.Name, b.Origin, b.Domain, b.Structure,
+			fmt.Sprintf("%d", b.TaskDirectives), b.TasksInside, nested, b.AppCutoff,
+		})
+	}
+	WriteTable(w, header, rows)
+	fmt.Fprintln(w)
+}
+
+// Table2Row carries the measured per-task characteristics of one
+// benchmark (paper Table II).
+type Table2Row struct {
+	Name          string
+	SerialTime    string
+	MemBytes      int64
+	Tasks         int64
+	OpsPerTask    float64
+	WaitsPerTask  float64
+	CapturedBytes float64
+	PctNonPrivate float64
+	OpsPerWrite   float64
+	OpsPerShared  float64
+}
+
+// Table2 profiles every benchmark on the given class: the sequential
+// run provides time/memory, and a single-thread run of the
+// no-application-cut-off version provides the potential-task profile
+// (task counts, per-task operations, taskwaits, captured bytes,
+// write mix), mirroring the paper's profiled serial execution.
+func Table2(w io.Writer, class core.Class) error {
+	fmt.Fprintf(w, "Table II — application characteristics (%s input class)\n\n", class)
+	header := []string{
+		"Application", "Serial time", "Memory", "#tasks",
+		"ops/task", "taskwaits/task", "captured B/task",
+		"% writes non-private", "ops/write", "ops/non-priv write",
+	}
+	var rows [][]string
+	for _, b := range core.Paper() {
+		row, err := ProfileBenchmark(b, class)
+		if err != nil {
+			return err
+		}
+		sharedOps := "-"
+		if row.OpsPerShared > 0 {
+			sharedOps = fmt.Sprintf("%.2f", row.OpsPerShared)
+		}
+		rows = append(rows, []string{
+			row.Name,
+			row.SerialTime,
+			fmtBytes(row.MemBytes),
+			fmt.Sprintf("%d", row.Tasks),
+			fmt.Sprintf("%.2f", row.OpsPerTask),
+			fmt.Sprintf("%.2f", row.WaitsPerTask),
+			fmt.Sprintf("%.2f", row.CapturedBytes),
+			fmt.Sprintf("%.2f%%", row.PctNonPrivate),
+			fmt.Sprintf("%.2f", row.OpsPerWrite),
+			sharedOps,
+		})
+	}
+	WriteTable(w, header, rows)
+	fmt.Fprintln(w)
+	return nil
+}
+
+// ProfileBenchmark computes one Table II row.
+func ProfileBenchmark(b *core.Benchmark, class core.Class) (Table2Row, error) {
+	seq, err := Baseline(b, class)
+	if err != nil {
+		return Table2Row{}, err
+	}
+	version := profileVersion(b)
+	res, err := b.Run(core.RunConfig{Class: class, Version: version, Threads: 1})
+	if err != nil {
+		return Table2Row{}, fmt.Errorf("report: profiling %s/%s: %w", b.Name, version, err)
+	}
+	st := res.Stats
+	tasks := st.TotalTasks()
+	row := Table2Row{
+		Name:       b.Name,
+		SerialTime: seq.Elapsed.String(),
+		MemBytes:   seq.MemBytes,
+		Tasks:      tasks,
+	}
+	if tasks > 0 {
+		row.OpsPerTask = float64(st.WorkUnits) / float64(tasks)
+		row.WaitsPerTask = float64(st.Taskwaits) / float64(tasks)
+		row.CapturedBytes = float64(st.CapturedBytes) / float64(tasks)
+	}
+	writes := st.PrivateWrites + st.SharedWrites
+	if writes > 0 {
+		row.PctNonPrivate = 100 * float64(st.SharedWrites) / float64(writes)
+		row.OpsPerWrite = float64(st.WorkUnits) / float64(writes)
+	}
+	if st.SharedWrites > 0 {
+		row.OpsPerShared = float64(st.WorkUnits) / float64(st.SharedWrites)
+	}
+	return row, nil
+}
+
+// profileVersion picks the version that exposes the full potential
+// task count: the no-cut-off variant when the benchmark has an
+// application cut-off, the plain/default variant otherwise.
+func profileVersion(b *core.Benchmark) string {
+	for _, v := range []string{"none-tied", "tied", "single-tied"} {
+		if b.HasVersion(v) {
+			return v
+		}
+	}
+	return b.BestVersion
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
+}

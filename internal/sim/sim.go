@@ -1,0 +1,640 @@
+// Package sim is a discrete-event simulator for work-stealing task
+// schedulers. It replays a task graph recorded by internal/trace
+// (from a real internal/omp execution) on an arbitrary number of
+// virtual threads, reproducing the scheduling semantics of the omp
+// runtime — per-worker deques, random-victim stealing, the OpenMP
+// task scheduling constraint for tied tasks, undeferred (inline)
+// tasks — together with a cost model for task-management overheads
+// and shared memory bandwidth.
+//
+// This is the substitution (see DESIGN.md) for the paper's 32-CPU
+// Altix testbed: on a host with one core, wall-clock speedup curves
+// are structurally flat, but the paper's Figures 3–5 are properties
+// of the task graph, the scheduler and the memory system, all of
+// which the simulator models explicitly. Simulated time is exact
+// (event-driven, no sampling): the reported makespan for one virtual
+// thread equals total work plus total overhead by construction.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"bots/internal/trace"
+)
+
+// Params is the simulator cost model.
+type Params struct {
+	// WorkUnitNS is the duration, in virtual nanoseconds, of one
+	// application work unit (calibrated per benchmark from a serial
+	// run: serial time / total work units).
+	WorkUnitNS float64
+	// SpawnNS is the creator-side overhead of deferring a task
+	// (allocation, queue push).
+	SpawnNS float64
+	// InlineNS is the creator-side overhead of an undeferred task
+	// (if-clause false or runtime cut-off): bookkeeping without a
+	// queue operation. The gap between InlineNS and zero is exactly
+	// the paper's distinction between the if-clause cut-off and the
+	// manual cut-off (which creates no task at all).
+	InlineNS float64
+	// StealNS is the thief-side cost of a successful steal.
+	StealNS float64
+	// TaskwaitNS is the cost of executing a taskwait.
+	TaskwaitNS float64
+	// MemFraction is the fraction of task work that is bound by the
+	// shared memory system (0 = pure compute, scales linearly;
+	// 1 = pure memory traffic).
+	MemFraction float64
+	// BandwidthCap is the number of concurrently active workers the
+	// memory system can sustain at full speed; with A active workers,
+	// memory-bound work slows by max(1, A/BandwidthCap). Zero means
+	// unlimited bandwidth.
+	BandwidthCap float64
+	// BreadthFirst switches a worker's own-queue consumption from
+	// LIFO (work-first, the default) to FIFO, mirroring the omp
+	// runtime's BreadthFirst policy for the §IV-D scheduling study.
+	BreadthFirst bool
+	// QueueSerializeNS, when positive, models a *central shared task
+	// queue* instead of per-worker deques: every enqueue (deferred
+	// spawn) and dequeue (task start) serializes through one lock,
+	// occupying it for this long. The queue-architecture ablation
+	// contrasts this with distributed deques (zero), reproducing the
+	// classic result that a central queue collapses under fine-grained
+	// task rates as threads grow.
+	QueueSerializeNS float64
+	// ThreadSwitch enables true untied-task migration: an untied task
+	// suspended at a taskwait detaches from its worker's stack and,
+	// once its children complete, may be resumed by any worker — the
+	// OpenMP untied capability that the paper's §IV-C observes the
+	// Intel 11.0 runtime did not implement (and which the real
+	// internal/omp runtime, stack-bound like Intel's, cannot provide).
+	// The simulator can, enabling the counterfactual study of what
+	// thread switching would have bought.
+	ThreadSwitch bool
+	// SwitchNS is the cost of resuming a migrated continuation on a
+	// new worker (cold stack/cache); only used with ThreadSwitch.
+	SwitchNS float64
+	// OnStart and OnComplete, when non-nil, observe the simulated
+	// timeline: they are called with the task ID, the worker, and the
+	// virtual time at which the task started/completed. Intended for
+	// schedule visualization and debugging.
+	OnStart    func(id int32, worker int, atNS float64)
+	OnComplete func(id int32, worker int, atNS float64)
+}
+
+// DefaultOverheads returns Params with representative task-management
+// costs (in ns) for a 2009-era runtime, leaving the application
+// calibration fields zero.
+func DefaultOverheads() Params {
+	return Params{
+		SpawnNS:    320,
+		InlineNS:   110,
+		StealNS:    450,
+		TaskwaitNS: 90,
+	}
+}
+
+// Result summarizes one simulated execution.
+type Result struct {
+	// Threads is the simulated team size.
+	Threads int
+	// MakespanNS is the simulated wall-clock time of the region.
+	MakespanNS float64
+	// SerialNS is the overhead-free serial time (total work ×
+	// WorkUnitNS), the paper's speedup baseline.
+	SerialNS float64
+	// Speedup is SerialNS / MakespanNS.
+	Speedup float64
+	// Steals is the number of successful steals.
+	Steals int64
+	// Parks is the number of times a taskwait blocked with no
+	// runnable task available under its scheduling constraint.
+	Parks int64
+	// Switches is the number of untied continuations resumed on a
+	// worker (only non-zero with Params.ThreadSwitch).
+	Switches int64
+	// IdleNS is the total worker time spent idle or blocked.
+	IdleNS float64
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("threads=%d speedup=%.2f makespan=%.3fms steals=%d parks=%d",
+		r.Threads, r.Speedup, r.MakespanNS/1e6, r.Steals, r.Parks)
+}
+
+// workerState is the mode of a virtual worker.
+type workerState uint8
+
+const (
+	wIdle    workerState = iota // looking for work (instantaneous retry on availability)
+	wRunning                    // executing a timed segment
+	wBlocked                    // suspended in a taskwait, waiting for children
+	wDone                       // root finished and nothing left (still steals on wake)
+)
+
+// frame is one entry of a worker's execution stack: a task instance
+// in progress.
+type frame struct {
+	id        int32   // task ID in the trace
+	evIdx     int     // next event to process
+	doneWork  int64   // work units completed so far
+	remaining float64 // base-ns remaining in the current segment
+	memBound  bool    // current segment subject to the bandwidth model
+	inWait    bool    // suspended at a taskwait
+}
+
+type vworker struct {
+	id    int
+	state workerState
+	stack []frame
+	dq    []int32 // ready deque: bottom = end of slice, top = index 0
+	rng   uint64
+}
+
+type sim struct {
+	tr      *trace.Trace
+	p       Params
+	workers []*vworker
+	// pending[i] = outstanding children of task i; waitingOn[i] =
+	// worker blocked in task i's taskwait, or -1.
+	pending   []int32
+	waiterOf  []int32
+	liveTasks int
+	now       float64
+	steals    int64
+	parks     int64
+	switches  int64
+	idleNS    float64
+
+	// Thread-switching state (Params.ThreadSwitch): suspended untied
+	// continuations detached from worker stacks, and the subset whose
+	// children have completed, ready to resume on any worker.
+	suspended map[int32]frame
+	readyCont []int32
+
+	// queueFreeAt is the virtual time at which the central queue lock
+	// becomes free (Params.QueueSerializeNS model).
+	queueFreeAt float64
+}
+
+// queueAcquire returns the time an operation spends acquiring and
+// holding the central queue at virtual time s.now, advancing the
+// queue's busy horizon.
+func (s *sim) queueAcquire() float64 {
+	d := s.p.QueueSerializeNS
+	if d <= 0 {
+		return 0
+	}
+	wait := s.queueFreeAt - s.now
+	if wait < 0 {
+		wait = 0
+	}
+	s.queueFreeAt = s.now + wait + d
+	return wait + d
+}
+
+// Run simulates tr on the given number of virtual threads. The team
+// may not be smaller than the recording team (each implicit task
+// needs its own thread); extra threads beyond tr.NumRoots start idle
+// and participate by stealing. For faithful reproduction of
+// worksharing distribution, record on a team of the same size.
+func Run(tr *trace.Trace, threads int, p Params) (Result, error) {
+	if threads < tr.NumRoots {
+		return Result{}, fmt.Errorf("sim: trace has %d roots but simulating only %d threads; record the trace on a team of at most that size", tr.NumRoots, threads)
+	}
+	if p.WorkUnitNS <= 0 {
+		p.WorkUnitNS = 1
+	}
+	s := &sim{
+		tr:       tr,
+		p:        p,
+		pending:  make([]int32, len(tr.Tasks)),
+		waiterOf: make([]int32, len(tr.Tasks)),
+	}
+	for i := range s.waiterOf {
+		s.waiterOf[i] = -1
+	}
+	s.workers = make([]*vworker, threads)
+	for i := 0; i < threads; i++ {
+		w := &vworker{id: i, rng: uint64(i)*0x9e3779b97f4a7c15 + 1}
+		if i < tr.NumRoots {
+			w.startTask(s, int32(i), false)
+		} else {
+			w.state = wIdle
+		}
+		s.workers[i] = w
+	}
+	s.liveTasks = len(tr.Tasks)
+	if err := s.run(); err != nil {
+		return Result{}, err
+	}
+	serial := float64(tr.TotalWork()) * p.WorkUnitNS
+	res := Result{
+		Threads:    threads,
+		MakespanNS: s.now,
+		SerialNS:   serial,
+		Steals:     s.steals,
+		Parks:      s.parks,
+		Switches:   s.switches,
+		IdleNS:     s.idleNS,
+	}
+	if s.now > 0 {
+		res.Speedup = serial / s.now
+	}
+	return res, nil
+}
+
+// startTask pushes a new frame for task id on w's stack, charging the
+// thief-side steal overhead if stolen. The frame starts with only the
+// overhead as its current segment; segmentDone loads work segments.
+func (w *vworker) startTask(s *sim, id int32, stolen bool) {
+	f := frame{id: id}
+	if stolen {
+		f.remaining = s.p.StealNS
+	}
+	if id >= int32(s.tr.NumRoots) {
+		f.remaining += s.queueAcquire() // dequeue through the central queue, if modeled
+	}
+	w.stack = append(w.stack, f)
+	w.state = wRunning
+	if s.p.OnStart != nil {
+		s.p.OnStart(id, w.id, s.now)
+	}
+}
+
+func (w *vworker) nextRand() uint64 {
+	x := w.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	w.rng = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// slowFactor is the bandwidth-model stretch for memory-bound work
+// when a active workers share the memory system.
+func (s *sim) slowFactor(active int) float64 {
+	if s.p.BandwidthCap <= 0 || s.p.MemFraction <= 0 || active <= 1 {
+		return 1
+	}
+	contend := float64(active) / s.p.BandwidthCap
+	if contend < 1 {
+		contend = 1
+	}
+	return (1 - s.p.MemFraction) + s.p.MemFraction*contend
+}
+
+func (s *sim) run() error {
+	const maxIter = 1 << 40
+	for iter := 0; s.liveTasks > 0; iter++ {
+		if iter >= maxIter {
+			return fmt.Errorf("sim: exceeded %d iterations; scheduler stuck", maxIter)
+		}
+		// Phase 1: settle all instantaneous transitions.
+		progress := true
+		for progress {
+			progress = false
+			for _, w := range s.workers {
+				if w.state == wIdle || w.state == wDone {
+					if s.tryAcquire(w) {
+						progress = true
+					}
+				}
+			}
+		}
+		if s.liveTasks == 0 {
+			break
+		}
+		// Phase 2: advance virtual time to the next segment completion.
+		active := 0
+		for _, w := range s.workers {
+			if w.state == wRunning {
+				active++
+			}
+		}
+		if active == 0 {
+			var queued int
+			blocked := 0
+			for _, w := range s.workers {
+				queued += len(w.dq)
+				if w.state == wBlocked {
+					blocked++
+				}
+			}
+			return fmt.Errorf("sim: deadlock at t=%.0fns: %d tasks outstanding (queued %d, suspended %d, readyCont %d, blocked workers %d)",
+				s.now, s.liveTasks, queued, len(s.suspended), len(s.readyCont), blocked)
+		}
+		factor := s.slowFactor(active)
+		dt := math.Inf(1)
+		for _, w := range s.workers {
+			if w.state != wRunning {
+				continue
+			}
+			f := &w.stack[len(w.stack)-1]
+			d := f.remaining
+			if f.memBound {
+				d *= factor
+			}
+			if d < dt {
+				dt = d
+			}
+		}
+		s.now += dt
+		s.idleNS += dt * float64(len(s.workers)-active)
+		// Two passes: advance every running segment first, then fire
+		// completions. segmentDone may wake blocked workers and load
+		// fresh segments; those must not be decremented by a dt they
+		// never waited through.
+		var finished []*vworker
+		for _, w := range s.workers {
+			if w.state != wRunning {
+				continue
+			}
+			f := &w.stack[len(w.stack)-1]
+			dec := dt
+			if f.memBound {
+				dec /= factor
+			}
+			f.remaining -= dec
+			if f.remaining <= 1e-9 {
+				f.remaining = 0
+				finished = append(finished, w)
+			}
+		}
+		for _, w := range finished {
+			if w.state == wRunning && len(w.stack) > 0 && w.stack[len(w.stack)-1].remaining == 0 {
+				s.segmentDone(w)
+			}
+		}
+	}
+	return nil
+}
+
+// segmentDone processes the event at the end of the just-finished
+// segment of w's top frame, cascading through zero-length segments,
+// inline children, taskwaits and task completions until the worker
+// either has a timed segment to run, blocks, or goes idle.
+func (s *sim) segmentDone(w *vworker) {
+	for {
+		if len(w.stack) == 0 {
+			w.state = wIdle
+			return
+		}
+		f := &w.stack[len(w.stack)-1]
+		if f.remaining > 0 {
+			w.state = wRunning
+			return
+		}
+		if f.inWait {
+			// A suspended taskwait whose overhead segment has been
+			// consumed: re-evaluate (control returns here both after
+			// interleaved tasks and on wake-up from a block).
+			if !s.resumeTaskwait(w, f) {
+				return // blocked, or started another task
+			}
+			continue
+		}
+		t := &s.tr.Tasks[f.id]
+		var boundary int64
+		if f.evIdx < len(t.Events) {
+			boundary = t.Events[f.evIdx].At
+		} else {
+			boundary = t.Work
+		}
+		if f.doneWork < boundary {
+			// Load the work segment up to the next event (or to the
+			// end of the task's own work).
+			f.remaining = float64(boundary-f.doneWork) * s.p.WorkUnitNS
+			f.doneWork = boundary
+			f.memBound = true
+			continue
+		}
+		if f.evIdx >= len(t.Events) {
+			// All events consumed and all work done: task completes.
+			s.completeTask(w, f.id)
+			continue
+		}
+		ev := t.Events[f.evIdx]
+		f.evIdx++
+		switch ev.Kind {
+		case trace.EvSpawn:
+			s.pending[f.id]++
+			w.dq = append(w.dq, ev.Child) // push bottom
+			f.remaining = s.p.SpawnNS + s.queueAcquire()
+			f.memBound = false
+		case trace.EvSpawnInline:
+			// Undeferred child: bookkeeping cost on the parent, then
+			// the child executes immediately as a new top frame.
+			s.pending[f.id]++
+			f.remaining = s.p.InlineNS
+			f.memBound = false
+			w.startTask(s, ev.Child, false)
+		case trace.EvTaskwait:
+			f.remaining = s.p.TaskwaitNS
+			f.memBound = false
+			if s.pending[f.id] > 0 {
+				f.inWait = true
+			}
+		}
+	}
+}
+
+// resumeTaskwait re-evaluates a frame suspended at a taskwait. It
+// returns true if the wait is over (children all done) and execution
+// of f may continue; false if the worker started another task (new
+// top frame), blocked, or (with ThreadSwitch) detached the untied
+// continuation. f must be w's top frame with inWait set.
+func (s *sim) resumeTaskwait(w *vworker, f *frame) bool {
+	if s.pending[f.id] == 0 {
+		f.inWait = false
+		return true
+	}
+	id := f.id
+	untied := s.tr.Tasks[id].Untied
+	if untied && s.p.ThreadSwitch {
+		// Detach the continuation: this worker is free immediately,
+		// and any worker may resume the task when its children are
+		// done. This is the thread-switching capability of untied
+		// tasks that stack-bound runtimes forgo.
+		cont := *f
+		w.stack = w.stack[:len(w.stack)-1]
+		if s.suspended == nil {
+			s.suspended = make(map[int32]frame)
+		}
+		s.suspended[id] = cont
+		s.workerAfterDetach(w)
+		return false
+	}
+	constraint := id
+	if untied {
+		constraint = -1
+	}
+	// Note: findWork/resumeReady may grow w.stack and invalidate f;
+	// all frame state was written before this call.
+	if s.resumeReady(w, constraint) {
+		return false
+	}
+	if s.findWork(w, constraint) {
+		w.state = wRunning
+		return false
+	}
+	// Nothing runnable under the constraint: block like the real
+	// runtime's park (woken when the last child finishes, or when an
+	// admissible continuation becomes ready).
+	s.parks++
+	w.state = wBlocked
+	s.waiterOf[id] = int32(w.id)
+	return false
+}
+
+// resumeReady looks for a detached continuation that the worker may
+// execute under its scheduling constraint (any for unconstrained
+// workers; descendants only for a suspended tied task, per the TSC)
+// and resumes it as the worker's new top frame.
+func (s *sim) resumeReady(w *vworker, constraint int32) bool {
+	for i, id := range s.readyCont {
+		if constraint >= 0 && !s.isDescendant(id, constraint) {
+			continue
+		}
+		s.readyCont = append(s.readyCont[:i], s.readyCont[i+1:]...)
+		f := s.suspended[id]
+		delete(s.suspended, id)
+		f.remaining = s.p.SwitchNS
+		f.memBound = false
+		w.stack = append(w.stack, f)
+		w.state = wRunning
+		s.switches++
+		return true
+	}
+	return false
+}
+
+// workerAfterDetach re-dispatches a worker that just shed its top
+// frame: continue the frame below (itself suspended), pick up ready
+// work, or go idle.
+func (s *sim) workerAfterDetach(w *vworker) {
+	if len(w.stack) > 0 {
+		// The frame below is a suspended taskwait; the main loop's
+		// segmentDone will re-evaluate it.
+		w.state = wRunning
+		return
+	}
+	w.state = wIdle
+}
+
+// isDescendant reports whether task id descends from anc in the trace.
+func (s *sim) isDescendant(id, anc int32) bool {
+	for p := s.tr.Tasks[id].Parent; p >= 0; p = s.tr.Tasks[p].Parent {
+		if p == anc {
+			return true
+		}
+	}
+	return false
+}
+
+// findWork implements the runtime's runOne for virtual workers:
+// pop own bottom (with the tied constraint), else steal from a random
+// victim's top. Returns true if a new frame was started.
+func (s *sim) findWork(w *vworker, constraint int32) bool {
+	if n := len(w.dq); n > 0 {
+		// A constrained (tied) waiter always pops LIFO — its children
+		// are the most recent pushes — matching the runtime's rule.
+		if s.p.BreadthFirst && constraint < 0 {
+			id := w.dq[0]
+			w.dq = w.dq[1:]
+			w.startTask(s, id, false)
+			return true
+		}
+		id := w.dq[n-1]
+		if constraint < 0 || s.isDescendant(id, constraint) {
+			w.dq = w.dq[:n-1]
+			w.startTask(s, id, false)
+			return true
+		}
+		// Blocked bottom task under tied constraint: leave for thieves.
+		return false
+	}
+	nw := len(s.workers)
+	if nw == 1 {
+		return false
+	}
+	start := int(w.nextRand() % uint64(nw))
+	for i := 0; i < nw; i++ {
+		v := s.workers[(start+i)%nw]
+		if v == w || len(v.dq) == 0 {
+			continue
+		}
+		id := v.dq[0]
+		if constraint >= 0 && !s.isDescendant(id, constraint) {
+			continue
+		}
+		v.dq = v.dq[1:]
+		s.steals++
+		w.startTask(s, id, true)
+		return true
+	}
+	return false
+}
+
+// tryAcquire lets an idle worker look for work: first a ready
+// (detached) untied continuation, then any ready task; zero-length
+// segments settle immediately.
+func (s *sim) tryAcquire(w *vworker) bool {
+	if s.resumeReady(w, -1) {
+		s.segmentDone(w)
+		return true
+	}
+	if !s.findWork(w, -1) {
+		return false
+	}
+	s.segmentDone(w)
+	return true
+}
+
+// completeTask pops w's top frame and performs completion
+// bookkeeping: decrement the parent's pending count and wake a
+// blocked waiter.
+func (s *sim) completeTask(w *vworker, id int32) {
+	w.stack = w.stack[:len(w.stack)-1]
+	s.liveTasks--
+	if s.p.OnComplete != nil {
+		s.p.OnComplete(id, w.id, s.now)
+	}
+	parent := s.tr.Tasks[id].Parent
+	if parent < 0 {
+		return
+	}
+	s.pending[parent]--
+	if s.pending[parent] == 0 {
+		if _, ok := s.suspended[parent]; ok {
+			// A detached untied continuation becomes ready. Idle
+			// workers pick it up in the next dispatch pass; a blocked
+			// tied waiter for which it is an admissible descendant
+			// must be woken explicitly, or a lone blocked worker
+			// could starve with ready work in hand.
+			s.readyCont = append(s.readyCont, parent)
+			for _, bw := range s.workers {
+				if bw.state != wBlocked {
+					continue
+				}
+				waitID := bw.stack[len(bw.stack)-1].id
+				if s.isDescendant(parent, waitID) {
+					s.waiterOf[waitID] = -1
+					bw.state = wRunning
+					s.segmentDone(bw)
+					break
+				}
+			}
+			return
+		}
+		if wi := s.waiterOf[parent]; wi >= 0 {
+			s.waiterOf[parent] = -1
+			waiter := s.workers[wi]
+			// The waiter was blocked with the waiting frame on top
+			// (inWait still set); segmentDone resumes it.
+			waiter.state = wRunning
+			s.segmentDone(waiter)
+		}
+	}
+}

@@ -1,0 +1,344 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"bots/internal/omp"
+	"bots/internal/trace"
+)
+
+// flatTrace builds a trace with one root spawning n independent tasks
+// of the given work, with a final taskwait.
+func flatTrace(n int, work int64, untiedRoot bool) *trace.Trace {
+	rec := trace.NewRecorder()
+	root := rec.Root()
+	children := make([]*trace.Node, n)
+	for i := 0; i < n; i++ {
+		children[i] = rec.Spawn(root, false, false, 0)
+		children[i].AddWork(work)
+	}
+	root.Taskwait()
+	_ = untiedRoot
+	return rec.Finish()
+}
+
+// recordFib traces the canonical fib pattern on a real omp team of
+// the given size.
+func recordFib(t *testing.T, n, threads int) *trace.Trace {
+	t.Helper()
+	rec := trace.NewRecorder()
+	var res int64
+	omp.Parallel(threads, func(c *omp.Context) {
+		c.Single(func(c *omp.Context) {
+			c.Task(func(c *omp.Context) { fibBody(c, n, &res) })
+		})
+	}, omp.WithRecorder(rec))
+	tr := rec.Finish()
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("recorded fib trace invalid: %v", err)
+	}
+	return tr
+}
+
+func fibBody(c *omp.Context, n int, res *int64) {
+	c.AddWork(10)
+	if n < 2 {
+		*res = int64(n)
+		return
+	}
+	var a, b int64
+	c.Task(func(c *omp.Context) { fibBody(c, n-1, &a) })
+	c.Task(func(c *omp.Context) { fibBody(c, n-2, &b) })
+	c.Taskwait()
+	*res = a + b
+}
+
+func TestRunThreadCountVsRoots(t *testing.T) {
+	// A 4-root trace cannot run on fewer than 4 threads (each
+	// implicit task needs a thread) ...
+	rec := trace.NewRecorder()
+	roots := []*trace.Node{rec.Root(), rec.Root(), rec.Root(), rec.Root()}
+	for _, r := range roots {
+		r.AddWork(100)
+	}
+	for i := 0; i < 8; i++ {
+		rec.Spawn(roots[0], false, false, 0).AddWork(500)
+	}
+	roots[0].Taskwait()
+	tr := rec.Finish()
+	if _, err := Run(tr, 2, Params{WorkUnitNS: 1}); err == nil {
+		t.Fatal("Run should reject thread counts below the root count")
+	}
+	// ... but extra threads join as thieves.
+	res, err := Run(tr, 8, Params{WorkUnitNS: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Speedup < 3 {
+		t.Fatalf("8 threads on a 4-root trace with 8 stealable tasks: speedup %v, want > 3", res.Speedup)
+	}
+}
+
+func TestSerialMakespanEqualsWorkPlusOverhead(t *testing.T) {
+	const n, work = 10, 1000
+	tr := flatTrace(n, work, false)
+	p := Params{WorkUnitNS: 1, SpawnNS: 7, TaskwaitNS: 13}
+	res, err := Run(tr, 1, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(n*work) + float64(n)*7 + 13
+	if math.Abs(res.MakespanNS-want) > 1e-6 {
+		t.Fatalf("serial makespan = %v, want %v", res.MakespanNS, want)
+	}
+	if res.SerialNS != float64(n*work) {
+		t.Fatalf("SerialNS = %v, want %v", res.SerialNS, float64(n*work))
+	}
+	if res.Speedup >= 1 {
+		t.Fatalf("speedup with overheads on 1 thread should be < 1, got %v", res.Speedup)
+	}
+}
+
+func TestFlatTraceScalesWithSimThreads(t *testing.T) {
+	// A trace recorded on a 4-thread team where only the root spawns:
+	// rebuild with 4 roots, the other 3 empty.
+	rec := trace.NewRecorder()
+	roots := make([]*trace.Node, 4)
+	for i := range roots {
+		roots[i] = rec.Root()
+	}
+	const n, work = 64, 10000
+	for i := 0; i < n; i++ {
+		ch := rec.Spawn(roots[0], false, false, 0)
+		ch.AddWork(work)
+	}
+	roots[0].Taskwait()
+	tr := rec.Finish()
+	res, err := Run(tr, 4, Params{WorkUnitNS: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Speedup < 3.5 || res.Speedup > 4.01 {
+		t.Fatalf("4-thread speedup on 64 independent equal tasks = %v, want ≈ 4", res.Speedup)
+	}
+	if res.Steals == 0 {
+		t.Fatal("expected steals when one root generates all tasks")
+	}
+}
+
+func TestZeroOverheadFibSpeedup(t *testing.T) {
+	for _, threads := range []int{1, 2, 4, 8} {
+		tr := recordFib(t, 16, threads)
+		res, err := Run(tr, threads, Params{WorkUnitNS: 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if threads == 1 {
+			if math.Abs(res.Speedup-1) > 1e-9 {
+				t.Fatalf("1-thread zero-overhead speedup = %v, want exactly 1", res.Speedup)
+			}
+			continue
+		}
+		// fib(16) has abundant parallelism; zero-overhead scheduling
+		// should get close to linear.
+		if res.Speedup < 0.75*float64(threads) {
+			t.Fatalf("threads=%d: speedup = %v, want >= %v", threads, res.Speedup, 0.75*float64(threads))
+		}
+		if res.Speedup > float64(threads)+1e-9 {
+			t.Fatalf("threads=%d: speedup = %v exceeds thread count", threads, res.Speedup)
+		}
+	}
+}
+
+func TestOverheadsReduceSpeedup(t *testing.T) {
+	tr := recordFib(t, 14, 4)
+	free, err := Run(tr, 4, Params{WorkUnitNS: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	costly, err := Run(tr, 4, Params{WorkUnitNS: 10, SpawnNS: 500, StealNS: 500, TaskwaitNS: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if costly.Speedup >= free.Speedup {
+		t.Fatalf("overheads should reduce speedup: free=%v costly=%v", free.Speedup, costly.Speedup)
+	}
+}
+
+func TestBandwidthCapSaturatesSpeedup(t *testing.T) {
+	// 32 equal independent tasks on 8 threads: compute-bound scales
+	// to 8, memory-bound with cap 2 saturates near 2.
+	rec := trace.NewRecorder()
+	roots := make([]*trace.Node, 8)
+	for i := range roots {
+		roots[i] = rec.Root()
+	}
+	for i := 0; i < 32; i++ {
+		rec.Spawn(roots[0], false, false, 0).AddWork(100000)
+	}
+	roots[0].Taskwait()
+	tr := rec.Finish()
+
+	unbounded, err := Run(tr, 8, Params{WorkUnitNS: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounded, err := Run(tr, 8, Params{WorkUnitNS: 1, MemFraction: 1, BandwidthCap: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unbounded.Speedup < 7 {
+		t.Fatalf("unbounded speedup = %v, want ≈ 8", unbounded.Speedup)
+	}
+	if bounded.Speedup > 2.6 {
+		t.Fatalf("bandwidth-capped speedup = %v, want ≈ 2", bounded.Speedup)
+	}
+	partial, err := Run(tr, 8, Params{WorkUnitNS: 1, MemFraction: 0.5, BandwidthCap: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if partial.Speedup <= bounded.Speedup || partial.Speedup >= unbounded.Speedup {
+		t.Fatalf("β=0.5 speedup %v should lie between %v and %v",
+			partial.Speedup, bounded.Speedup, unbounded.Speedup)
+	}
+}
+
+func TestSimulationIsDeterministic(t *testing.T) {
+	tr := recordFib(t, 15, 4)
+	p := Params{WorkUnitNS: 25, SpawnNS: 100, StealNS: 200, TaskwaitNS: 50}
+	a, err := Run(tr, 4, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(tr, 4, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("simulation not deterministic:\n%v\n%v", a, b)
+	}
+}
+
+func TestInlineTasksSerializeIntoParent(t *testing.T) {
+	// Root spawns 4 deferred tasks, each of which spawns 4 inline
+	// children: on 4 threads the inline children must not add
+	// parallelism beyond 4.
+	rec := trace.NewRecorder()
+	roots := []*trace.Node{rec.Root(), rec.Root(), rec.Root(), rec.Root()}
+	for i := 0; i < 4; i++ {
+		ch := rec.Spawn(roots[0], false, false, 0)
+		for j := 0; j < 4; j++ {
+			g := rec.Spawn(ch, false, true, 0) // inline
+			g.AddWork(1000)
+		}
+		ch.Taskwait()
+	}
+	roots[0].Taskwait()
+	tr := rec.Finish()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(tr, 4, Params{WorkUnitNS: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total work 16000, 4 chains of 4000 each → makespan 4000.
+	if math.Abs(res.MakespanNS-4000) > 1 {
+		t.Fatalf("makespan = %v, want 4000 (inline children serialized)", res.MakespanNS)
+	}
+}
+
+func TestTiedConstraintLimitsInterleaving(t *testing.T) {
+	// Construct a pathology: two deferred subtrees; in the tied case
+	// a waiter stuck on a stolen child cannot help elsewhere. We just
+	// assert untied never performs worse than tied on a recorded fib
+	// DAG, and both produce valid makespans.
+	rec := trace.NewRecorder()
+	root := rec.Root()
+	// Two chains: parent A with child a (work 10000); parent B with
+	// child b (work 10000). A and B themselves have tiny work and
+	// taskwait their children.
+	for i := 0; i < 2; i++ {
+		p := rec.Spawn(root, false, false, 0)
+		p.AddWork(1)
+		c := rec.Spawn(p, false, false, 0)
+		c.AddWork(10000)
+		p.Taskwait()
+	}
+	root.Taskwait()
+	trTied := rec.Finish()
+	res, err := Run(trTied, 1, Params{WorkUnitNS: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MakespanNS < 20000 {
+		t.Fatalf("1-thread makespan %v < total work 20002", res.MakespanNS)
+	}
+}
+
+func TestUntiedVsTiedOnFib(t *testing.T) {
+	mk := func(untied bool) *trace.Trace {
+		rec := trace.NewRecorder()
+		var res int64
+		var opts []omp.TaskOpt
+		if untied {
+			opts = append(opts, omp.Untied())
+		}
+		var body func(c *omp.Context, n int, res *int64)
+		body = func(c *omp.Context, n int, res *int64) {
+			c.AddWork(10)
+			if n < 2 {
+				*res = int64(n)
+				return
+			}
+			var a, b int64
+			c.Task(func(c *omp.Context) { body(c, n-1, &a) }, opts...)
+			c.Task(func(c *omp.Context) { body(c, n-2, &b) }, opts...)
+			c.Taskwait()
+			*res = a + b
+		}
+		omp.Parallel(4, func(c *omp.Context) {
+			c.Single(func(c *omp.Context) {
+				c.Task(func(c *omp.Context) { body(c, 14, &res) }, opts...)
+			})
+		}, omp.WithRecorder(rec))
+		return rec.Finish()
+	}
+	p := Params{WorkUnitNS: 50, SpawnNS: 100, StealNS: 200}
+	tied, err := Run(mk(false), 4, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	untied, err := Run(mk(true), 4, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper found tied and untied within a few percent of each
+	// other on a runtime without thread switching; allow a generous
+	// band but require both to scale.
+	if tied.Speedup < 2 || untied.Speedup < 2 {
+		t.Fatalf("both variants should scale: tied=%v untied=%v", tied.Speedup, untied.Speedup)
+	}
+	ratio := untied.Speedup / tied.Speedup
+	if ratio < 0.7 || ratio > 1.5 {
+		t.Fatalf("tied/untied divergence too large: tied=%v untied=%v", tied.Speedup, untied.Speedup)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{Threads: 4, Speedup: 3.5, MakespanNS: 2e6}
+	if r.String() == "" {
+		t.Fatal("empty Result string")
+	}
+}
+
+func TestDefaultOverheadsPopulated(t *testing.T) {
+	p := DefaultOverheads()
+	if p.SpawnNS <= 0 || p.StealNS <= 0 || p.InlineNS <= 0 || p.TaskwaitNS <= 0 {
+		t.Fatal("DefaultOverheads should set all overhead fields")
+	}
+	if p.InlineNS >= p.SpawnNS {
+		t.Fatal("inline overhead should be cheaper than deferred-spawn overhead")
+	}
+}

@@ -1,0 +1,176 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"bots/internal/trace"
+)
+
+// TimelineSpan is one task execution interval on a virtual worker.
+type TimelineSpan struct {
+	Task    int32
+	Worker  int
+	StartNS float64
+	EndNS   float64
+}
+
+// Timeline is a recorded virtual schedule: the (start, end, worker)
+// interval of every task of one simulated run.
+type Timeline struct {
+	Threads    int
+	MakespanNS float64
+	Spans      []TimelineSpan
+}
+
+// RunWithTimeline simulates like Run and additionally captures the
+// full schedule. Note that span intervals cover a task's lifetime
+// from first dispatch to completion; time spent suspended in
+// taskwaits (possibly executing other tasks, which have their own
+// spans) is included in the interval.
+func RunWithTimeline(tr *trace.Trace, threads int, p Params) (Result, *Timeline, error) {
+	tl := &Timeline{Threads: threads}
+	open := map[int32]int{} // task → index in Spans
+	prevStart, prevComplete := p.OnStart, p.OnComplete
+	p.OnStart = func(id int32, worker int, at float64) {
+		open[id] = len(tl.Spans)
+		tl.Spans = append(tl.Spans, TimelineSpan{Task: id, Worker: worker, StartNS: at})
+		if prevStart != nil {
+			prevStart(id, worker, at)
+		}
+	}
+	p.OnComplete = func(id int32, worker int, at float64) {
+		if idx, ok := open[id]; ok {
+			tl.Spans[idx].EndNS = at
+			delete(open, id)
+		}
+		if prevComplete != nil {
+			prevComplete(id, worker, at)
+		}
+	}
+	res, err := Run(tr, threads, p)
+	if err != nil {
+		return res, nil, err
+	}
+	tl.MakespanNS = res.MakespanNS
+	return res, tl, nil
+}
+
+// chromeEvent is one entry of the Chrome trace-event ("catapult")
+// format, loadable in chrome://tracing and Perfetto.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`  // microseconds
+	Dur  float64        `json:"dur"` // microseconds
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace exports the timeline in the Chrome trace-event
+// JSON format: one complete ("X") event per task span, with the
+// virtual worker as the thread ID. Open the file in chrome://tracing
+// or https://ui.perfetto.dev.
+func (tl *Timeline) WriteChromeTrace(w io.Writer, tr *trace.Trace) error {
+	events := make([]chromeEvent, 0, len(tl.Spans))
+	for _, s := range tl.Spans {
+		t := &tr.Tasks[s.Task]
+		name := fmt.Sprintf("task %d (d%d)", s.Task, t.Depth)
+		if t.Parent < 0 {
+			name = fmt.Sprintf("implicit %d", s.Task)
+		}
+		events = append(events, chromeEvent{
+			Name: name,
+			Ph:   "X",
+			Ts:   s.StartNS / 1e3,
+			Dur:  (s.EndNS - s.StartNS) / 1e3,
+			Pid:  0,
+			Tid:  s.Worker,
+			Args: map[string]any{
+				"work":   t.Work,
+				"untied": t.Untied,
+				"inline": t.Inline,
+			},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": events})
+}
+
+// WriteGantt renders an ASCII Gantt chart of the schedule: one row
+// per virtual worker, time left to right, '#' where the worker is
+// executing its deepest active task and '.' where it idles or blocks.
+func (tl *Timeline) WriteGantt(w io.Writer, width int) {
+	if width <= 0 {
+		width = 100
+	}
+	if tl.MakespanNS <= 0 {
+		fmt.Fprintln(w, "(empty timeline)")
+		return
+	}
+	rows := make([][]byte, tl.Threads)
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(".", width))
+	}
+	scale := float64(width) / tl.MakespanNS
+	// Paint shallow (long) spans first so nested executions overwrite
+	// their suspended ancestors.
+	spans := append([]TimelineSpan(nil), tl.Spans...)
+	sort.Slice(spans, func(i, j int) bool {
+		return spans[i].EndNS-spans[i].StartNS > spans[j].EndNS-spans[j].StartNS
+	})
+	for _, s := range spans {
+		if s.Worker < 0 || s.Worker >= tl.Threads {
+			continue
+		}
+		lo := int(s.StartNS * scale)
+		hi := int(s.EndNS * scale)
+		if hi >= width {
+			hi = width - 1
+		}
+		mark := byte('#')
+		for x := lo; x <= hi; x++ {
+			rows[s.Worker][x] = mark
+		}
+	}
+	fmt.Fprintf(w, "virtual schedule (%d workers, makespan %.3fms)\n", tl.Threads, tl.MakespanNS/1e6)
+	for i, r := range rows {
+		fmt.Fprintf(w, "w%02d |%s|\n", i, r)
+	}
+}
+
+// Utilization returns the fraction of worker-time spent executing
+// tasks (busy time / (threads × makespan)), computed from the
+// non-overlapping portions of the span set per worker.
+func (tl *Timeline) Utilization() float64 {
+	if tl.MakespanNS <= 0 || tl.Threads == 0 {
+		return 0
+	}
+	// Merge spans per worker (they nest; union length is what counts).
+	type iv struct{ lo, hi float64 }
+	byWorker := make(map[int][]iv)
+	for _, s := range tl.Spans {
+		byWorker[s.Worker] = append(byWorker[s.Worker], iv{s.StartNS, s.EndNS})
+	}
+	var busy float64
+	for _, ivs := range byWorker {
+		sort.Slice(ivs, func(i, j int) bool { return ivs[i].lo < ivs[j].lo })
+		curLo, curHi := ivs[0].lo, ivs[0].hi
+		for _, v := range ivs[1:] {
+			if v.lo > curHi {
+				busy += curHi - curLo
+				curLo, curHi = v.lo, v.hi
+				continue
+			}
+			if v.hi > curHi {
+				curHi = v.hi
+			}
+		}
+		busy += curHi - curLo
+	}
+	return busy / (float64(tl.Threads) * tl.MakespanNS)
+}

@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"bots/internal/trace"
+)
+
+func timelineFixture(t *testing.T) (*trace.Trace, Result, *Timeline) {
+	t.Helper()
+	tr := recordFib(t, 12, 4)
+	res, tl, err := RunWithTimeline(tr, 4, Params{WorkUnitNS: 50, SpawnNS: 20, StealNS: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, res, tl
+}
+
+func TestTimelineCoversAllTasks(t *testing.T) {
+	tr, res, tl := timelineFixture(t)
+	if len(tl.Spans) != len(tr.Tasks) {
+		t.Fatalf("timeline has %d spans, want %d (every task exactly once)",
+			len(tl.Spans), len(tr.Tasks))
+	}
+	seen := map[int32]bool{}
+	for _, s := range tl.Spans {
+		if seen[s.Task] {
+			t.Fatalf("task %d has two spans", s.Task)
+		}
+		seen[s.Task] = true
+		if s.EndNS < s.StartNS {
+			t.Fatalf("span of task %d ends before it starts", s.Task)
+		}
+		if s.EndNS > res.MakespanNS+1e-9 {
+			t.Fatalf("span of task %d ends after the makespan", s.Task)
+		}
+		if s.Worker < 0 || s.Worker >= tl.Threads {
+			t.Fatalf("span of task %d on bogus worker %d", s.Task, s.Worker)
+		}
+	}
+}
+
+func TestTimelineChildWithinSpawnOrder(t *testing.T) {
+	tr, _, tl := timelineFixture(t)
+	start := map[int32]float64{}
+	for _, s := range tl.Spans {
+		start[s.Task] = s.StartNS
+	}
+	// A child can never start before its parent.
+	for i := tr.NumRoots; i < len(tr.Tasks); i++ {
+		p := tr.Tasks[i].Parent
+		if start[int32(i)] < start[p]-1e-9 {
+			t.Fatalf("task %d starts before its parent %d", i, p)
+		}
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	tr, _, tl := timelineFixture(t)
+	var buf bytes.Buffer
+	if err := tl.WriteChromeTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Dur  float64 `json:"dur"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != len(tl.Spans) {
+		t.Fatalf("exported %d events, want %d", len(doc.TraceEvents), len(tl.Spans))
+	}
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" || e.Dur < 0 {
+			t.Fatalf("bad event %+v", e)
+		}
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	_, _, tl := timelineFixture(t)
+	var buf bytes.Buffer
+	tl.WriteGantt(&buf, 80)
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 1+tl.Threads {
+		t.Fatalf("gantt has %d lines, want header + %d workers", len(lines), tl.Threads)
+	}
+	if !strings.Contains(out, "#") {
+		t.Fatal("gantt shows no execution at all")
+	}
+	// Worker 0 ran the single root: its row must start busy.
+	if !strings.HasPrefix(lines[1], "w00 |#") {
+		t.Fatalf("worker 0 row does not start busy: %q", lines[1])
+	}
+}
+
+func TestUtilizationRange(t *testing.T) {
+	_, _, tl := timelineFixture(t)
+	u := tl.Utilization()
+	if u <= 0 || u > 1.0+1e-9 {
+		t.Fatalf("utilization = %v, want in (0, 1]", u)
+	}
+	// 4 threads on an abundant DAG should keep workers mostly busy.
+	if u < 0.5 {
+		t.Fatalf("utilization = %v, suspiciously low for fib on 4 threads", u)
+	}
+}
+
+func TestGanttEmptyTimeline(t *testing.T) {
+	tl := &Timeline{Threads: 2}
+	var buf bytes.Buffer
+	tl.WriteGantt(&buf, 40)
+	if !strings.Contains(buf.String(), "empty") {
+		t.Fatal("empty timeline should say so")
+	}
+}

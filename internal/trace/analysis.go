@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Analysis summarizes the parallel structure of a task graph in the
+// work/span framework: total work W, critical path (span) S, and the
+// average parallelism W/S that upper-bounds achievable speedup on any
+// number of threads — the quantity that explains which BOTS
+// benchmarks can scale and which cannot, independent of any runtime.
+type Analysis struct {
+	// Tasks is the number of explicit tasks (deferred + undeferred).
+	Tasks int
+	// Deferred is the number of queued tasks.
+	Deferred int
+	// Work is total work in work units; Span is the critical path.
+	Work, Span int64
+	// Parallelism is Work/Span.
+	Parallelism float64
+	// MaxDepth is the deepest task-tree level.
+	MaxDepth int32
+	// DepthTasks[d] is the number of tasks at depth d.
+	DepthTasks []int
+	// WorkP50, WorkP90, WorkMax summarize per-task self-work.
+	WorkP50, WorkP90, WorkMax int64
+	// Taskwaits is the total taskwait count.
+	Taskwaits int64
+	// CapturedTotal is the total captured-environment bytes.
+	CapturedTotal int64
+}
+
+// Analyze computes the Analysis of a trace.
+func Analyze(tr *Trace) Analysis {
+	a := Analysis{
+		Tasks:    tr.NumTasks(),
+		Deferred: tr.NumDeferred(),
+		Work:     tr.TotalWork(),
+		Span:     tr.CriticalPath(),
+	}
+	if a.Span > 0 {
+		a.Parallelism = float64(a.Work) / float64(a.Span)
+	}
+	var works []int64
+	for i := range tr.Tasks {
+		t := &tr.Tasks[i]
+		if t.Depth > a.MaxDepth {
+			a.MaxDepth = t.Depth
+		}
+		if int(t.Depth) >= len(a.DepthTasks) {
+			grown := make([]int, t.Depth+1)
+			copy(grown, a.DepthTasks)
+			a.DepthTasks = grown
+		}
+		a.DepthTasks[t.Depth]++
+		a.CapturedTotal += int64(t.Captured)
+		if i >= tr.NumRoots {
+			works = append(works, t.Work)
+		}
+		for _, e := range t.Events {
+			if e.Kind == EvTaskwait {
+				a.Taskwaits++
+			}
+		}
+	}
+	if len(works) > 0 {
+		sort.Slice(works, func(i, j int) bool { return works[i] < works[j] })
+		a.WorkP50 = works[len(works)/2]
+		a.WorkP90 = works[len(works)*9/10]
+		a.WorkMax = works[len(works)-1]
+	}
+	return a
+}
+
+// String renders a multi-line human-readable summary.
+func (a Analysis) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "tasks:        %d (%d deferred)\n", a.Tasks, a.Deferred)
+	fmt.Fprintf(&b, "work:         %d units\n", a.Work)
+	fmt.Fprintf(&b, "span:         %d units (critical path)\n", a.Span)
+	fmt.Fprintf(&b, "parallelism:  %.1f (work/span — speedup upper bound)\n", a.Parallelism)
+	fmt.Fprintf(&b, "depth:        %d levels\n", a.MaxDepth)
+	fmt.Fprintf(&b, "task work:    p50=%d p90=%d max=%d units\n", a.WorkP50, a.WorkP90, a.WorkMax)
+	fmt.Fprintf(&b, "taskwaits:    %d\n", a.Taskwaits)
+	fmt.Fprintf(&b, "captured:     %d bytes total\n", a.CapturedTotal)
+	return b.String()
+}

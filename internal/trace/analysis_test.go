@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAnalyzeBinaryTree(t *testing.T) {
+	tr := buildBinaryTree(4, 10)
+	a := Analyze(tr)
+	wantTasks := 2 + 4 + 8 + 16
+	if a.Tasks != wantTasks || a.Deferred != wantTasks {
+		t.Fatalf("tasks = %d/%d, want %d", a.Tasks, a.Deferred, wantTasks)
+	}
+	if a.Work != int64(10*(wantTasks+1)) {
+		t.Fatalf("work = %d", a.Work)
+	}
+	if a.Span != 50 { // (depth+1) × 10
+		t.Fatalf("span = %d, want 50", a.Span)
+	}
+	if a.Parallelism <= 1 || a.Parallelism > float64(a.Tasks) {
+		t.Fatalf("parallelism = %v out of range", a.Parallelism)
+	}
+	if a.MaxDepth != 4 {
+		t.Fatalf("max depth = %d, want 4", a.MaxDepth)
+	}
+	if len(a.DepthTasks) != 5 || a.DepthTasks[4] != 16 {
+		t.Fatalf("depth histogram = %v", a.DepthTasks)
+	}
+	if a.WorkP50 != 10 || a.WorkMax != 10 {
+		t.Fatalf("task work percentiles = %d/%d, want 10/10", a.WorkP50, a.WorkMax)
+	}
+	if a.Taskwaits != 1+2+4+8 { // every non-leaf node (depths 0..3) waits
+		t.Fatalf("taskwaits = %d", a.Taskwaits)
+	}
+	if a.CapturedTotal != int64(8*wantTasks) {
+		t.Fatalf("captured = %d", a.CapturedTotal)
+	}
+}
+
+func TestAnalyzeSerialChain(t *testing.T) {
+	// A fully serial chain has parallelism ≈ 1.
+	rec := NewRecorder()
+	cur := rec.Root()
+	for i := 0; i < 20; i++ {
+		cur.AddWork(5)
+		next := rec.Spawn(cur, false, false, 0)
+		cur.Taskwait()
+		cur = next
+	}
+	cur.AddWork(5)
+	a := Analyze(rec.Finish())
+	if a.Parallelism > 1.01 {
+		t.Fatalf("serial chain parallelism = %v, want ≈ 1", a.Parallelism)
+	}
+}
+
+func TestAnalysisString(t *testing.T) {
+	a := Analyze(buildBinaryTree(3, 2))
+	s := a.String()
+	for _, want := range []string{"parallelism", "span", "taskwaits"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Analysis.String missing %q:\n%s", want, s)
+		}
+	}
+}

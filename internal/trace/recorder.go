@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Recorder incrementally builds a Trace while the omp runtime
+// executes a parallel region. It is safe for concurrent use by the
+// workers of one team: task IDs are allocated atomically and each
+// Node is only ever mutated by the worker currently executing that
+// task, which the runtime guarantees.
+type Recorder struct {
+	nextID   atomic.Int32
+	mu       sync.Mutex
+	tasks    []*Node
+	numRoots int
+}
+
+// Node is the mutable recording state for one task. The runtime holds
+// a *Node per live task and reports events through it.
+type Node struct {
+	task Task
+	rec  *Recorder
+}
+
+// NewRecorder returns an empty Recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{}
+}
+
+func (r *Recorder) register(n *Node) {
+	r.mu.Lock()
+	r.tasks = append(r.tasks, n)
+	r.mu.Unlock()
+}
+
+// Root allocates the implicit task node for one team thread. All
+// Root calls must precede any Spawn calls; the runtime calls Root for
+// every worker when the team is created.
+func (r *Recorder) Root() *Node {
+	id := r.nextID.Add(1) - 1
+	n := &Node{rec: r, task: Task{ID: id, Parent: -1}}
+	r.mu.Lock()
+	r.tasks = append(r.tasks, n)
+	r.numRoots++
+	r.mu.Unlock()
+	return n
+}
+
+// Spawn records the creation of a child task of parent. inline marks
+// an undeferred task (if-clause false, final region, or runtime
+// cut-off). It returns the child node, which the runtime attaches to
+// the new task.
+func (r *Recorder) Spawn(parent *Node, untied, inline bool, captured int) *Node {
+	id := r.nextID.Add(1) - 1
+	n := &Node{rec: r, task: Task{
+		ID:       id,
+		Parent:   parent.task.ID,
+		Untied:   untied,
+		Inline:   inline,
+		Depth:    parent.task.Depth + 1,
+		Captured: int32(captured),
+	}}
+	r.register(n)
+	kind := EvSpawn
+	if inline {
+		kind = EvSpawnInline
+	}
+	parent.task.Events = append(parent.task.Events, Event{
+		At:    parent.task.Work,
+		Kind:  kind,
+		Child: id,
+	})
+	return n
+}
+
+// AddWork accrues w self-work units on the task.
+func (n *Node) AddWork(w int64) {
+	n.task.Work += w
+}
+
+// AddWrites accrues application-reported memory-write counts
+// (Table II accounting and bandwidth-model input).
+func (n *Node) AddWrites(private, shared int64) {
+	n.task.PrivateWrites += private
+	n.task.SharedWrites += shared
+}
+
+// Taskwait records a taskwait event on the task.
+func (n *Node) Taskwait() {
+	n.task.Events = append(n.task.Events, Event{
+		At:    n.task.Work,
+		Kind:  EvTaskwait,
+		Child: -1,
+	})
+}
+
+// Finish returns the completed Trace. It must be called after the
+// recorded parallel region has fully terminated.
+func (r *Recorder) Finish() *Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sort.Slice(r.tasks, func(i, j int) bool { return r.tasks[i].task.ID < r.tasks[j].task.ID })
+	tr := &Trace{
+		Tasks:    make([]Task, len(r.tasks)),
+		NumRoots: r.numRoots,
+	}
+	for i, n := range r.tasks {
+		tr.Tasks[i] = n.task
+	}
+	return tr
+}

@@ -1,0 +1,254 @@
+// Package trace records the task graph produced by a run of the omp
+// tasking runtime in a form that the discrete-event simulator
+// (internal/sim) can replay on an arbitrary number of virtual threads.
+//
+// Costs are expressed in abstract work units rather than wall-clock
+// nanoseconds: application task bodies report the work they perform
+// (arithmetic operations, in the units the BOTS paper uses for
+// Table II) and the tracer records, for every task, the sequence of
+// scheduling-relevant events (child spawns, taskwaits, completion)
+// together with the cumulative work executed when each event occurs.
+// This makes traces deterministic, portable, and independent of timer
+// resolution, which matters on a single-core host where individual
+// tasks execute in nanoseconds.
+package trace
+
+import "fmt"
+
+// EventKind identifies the kind of a scheduling event inside a task.
+type EventKind uint8
+
+const (
+	// EvSpawn marks the creation of a deferred child task.
+	EvSpawn EventKind = iota
+	// EvSpawnInline marks the creation of an undeferred child task
+	// (if(false) clause, final region, or runtime cut-off): the child
+	// executes immediately on the encountering thread but still pays
+	// task-management overhead, unlike a manual cut-off.
+	EvSpawnInline
+	// EvTaskwait marks a taskwait: the task suspends until all
+	// children spawned so far have completed.
+	EvTaskwait
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvSpawn:
+		return "spawn"
+	case EvSpawnInline:
+		return "spawn-inline"
+	case EvTaskwait:
+		return "taskwait"
+	}
+	return fmt.Sprintf("EventKind(%d)", uint8(k))
+}
+
+// Event is one scheduling event inside a task's execution.
+type Event struct {
+	// At is the cumulative self-work (in work units) the task had
+	// executed when the event occurred. Events are ordered by At.
+	At int64
+	// Kind is the event kind.
+	Kind EventKind
+	// Child is the ID of the spawned task for EvSpawn/EvSpawnInline;
+	// -1 for EvTaskwait.
+	Child int32
+}
+
+// Task is one recorded task.
+type Task struct {
+	// ID is the task's index in Trace.Tasks.
+	ID int32
+	// Parent is the ID of the creating task, or -1 for implicit
+	// (per-thread root) tasks.
+	Parent int32
+	// Untied reports whether the task was created with the untied
+	// clause.
+	Untied bool
+	// Inline reports whether the task was undeferred (executed
+	// immediately by the encountering thread).
+	Inline bool
+	// Depth is the task-tree depth (implicit tasks are depth 0).
+	Depth int32
+	// Work is the total self-work of the task in work units,
+	// excluding all descendants.
+	Work int64
+	// SharedWrites and PrivateWrites count memory writes reported by
+	// the application for this task (Table II accounting; also feeds
+	// the simulator's bandwidth model).
+	SharedWrites, PrivateWrites int64
+	// Captured is the number of bytes of captured environment
+	// (firstprivate data) copied into the task at creation.
+	Captured int32
+	// Events is the ordered list of scheduling events.
+	Events []Event
+}
+
+// Trace is a complete recorded task graph for one parallel region.
+type Trace struct {
+	// Tasks holds every task, indexed by ID. The first NumRoots
+	// entries are the implicit tasks of the recording team's threads.
+	Tasks []Task
+	// NumRoots is the number of implicit (per-thread root) tasks.
+	NumRoots int
+}
+
+// TotalWork returns the sum of self-work over all tasks.
+func (tr *Trace) TotalWork() int64 {
+	var w int64
+	for i := range tr.Tasks {
+		w += tr.Tasks[i].Work
+	}
+	return w
+}
+
+// NumTasks returns the number of explicit tasks in the trace
+// (deferred and undeferred), excluding implicit root tasks.
+func (tr *Trace) NumTasks() int {
+	return len(tr.Tasks) - tr.NumRoots
+}
+
+// NumDeferred returns the number of deferred (queued) tasks.
+func (tr *Trace) NumDeferred() int {
+	n := 0
+	for i := tr.NumRoots; i < len(tr.Tasks); i++ {
+		if !tr.Tasks[i].Inline {
+			n++
+		}
+	}
+	return n
+}
+
+// NumTaskwaits returns the total number of taskwait events.
+func (tr *Trace) NumTaskwaits() int64 {
+	var n int64
+	for i := range tr.Tasks {
+		for _, e := range tr.Tasks[i].Events {
+			if e.Kind == EvTaskwait {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// CriticalPath returns the length, in work units, of the longest
+// dependence chain in the trace: the minimum possible makespan on
+// infinitely many threads with zero overheads.
+//
+// Two completion notions matter (and differ, per OpenMP semantics):
+// a taskwait joins only on the *own* completion of direct children —
+// a child may finish with its own unawaited descendants still running
+// — while the region (and hence the critical path) is bounded by the
+// *subtree* completion of every task.
+func (tr *Trace) CriticalPath() int64 {
+	type span struct {
+		own  int64 // task start → its own completion
+		full int64 // task start → completion of its entire subtree
+	}
+	memo := make([]span, len(tr.Tasks))
+	done := make([]bool, len(tr.Tasks))
+	var finish func(id int32) span
+	finish = func(id int32) span {
+		if done[id] {
+			return memo[id]
+		}
+		t := &tr.Tasks[id]
+		type pending struct {
+			at    int64 // task-relative spawn time
+			child int32
+		}
+		var pend []pending
+		cursor := int64(0)
+		workDone := int64(0)
+		full := int64(0)
+		for _, e := range t.Events {
+			cursor += e.At - workDone
+			workDone = e.At
+			switch e.Kind {
+			case EvSpawn:
+				s := finish(e.Child)
+				pend = append(pend, pending{cursor, e.Child})
+				if f := cursor + s.full; f > full {
+					full = f
+				}
+			case EvSpawnInline:
+				// Undeferred child executes inline to its own
+				// completion; its unawaited descendants overhang.
+				s := finish(e.Child)
+				if f := cursor + s.full; f > full {
+					full = f
+				}
+				cursor += s.own
+			case EvTaskwait:
+				for _, p := range pend {
+					if f := p.at + memo[p.child].own; f > cursor {
+						cursor = f
+					}
+				}
+				pend = pend[:0]
+			}
+		}
+		cursor += t.Work - workDone
+		if cursor > full {
+			full = cursor
+		}
+		memo[id] = span{own: cursor, full: full}
+		done[id] = true
+		return memo[id]
+	}
+	var cp int64
+	for r := 0; r < tr.NumRoots; r++ {
+		if s := finish(int32(r)); s.full > cp {
+			cp = s.full
+		}
+	}
+	return cp
+}
+
+// Validate checks structural invariants of the trace: parents precede
+// children, event offsets are monotonic and within task work, and
+// every non-root task is referenced by exactly one spawn event.
+func (tr *Trace) Validate() error {
+	referenced := make([]int32, len(tr.Tasks))
+	for i := range tr.Tasks {
+		t := &tr.Tasks[i]
+		if int(t.ID) != i {
+			return fmt.Errorf("trace: task %d has ID %d", i, t.ID)
+		}
+		if i < tr.NumRoots {
+			if t.Parent != -1 {
+				return fmt.Errorf("trace: root task %d has parent %d", i, t.Parent)
+			}
+		} else if t.Parent < 0 || int(t.Parent) >= len(tr.Tasks) {
+			return fmt.Errorf("trace: task %d has out-of-range parent %d", i, t.Parent)
+		}
+		last := int64(0)
+		for _, e := range t.Events {
+			if e.At < last {
+				return fmt.Errorf("trace: task %d has non-monotonic event offsets", i)
+			}
+			last = e.At
+			switch e.Kind {
+			case EvSpawn, EvSpawnInline:
+				if e.Child <= 0 || int(e.Child) >= len(tr.Tasks) {
+					return fmt.Errorf("trace: task %d spawns out-of-range child %d", i, e.Child)
+				}
+				if tr.Tasks[e.Child].Parent != t.ID {
+					return fmt.Errorf("trace: task %d spawns task %d whose parent is %d",
+						i, e.Child, tr.Tasks[e.Child].Parent)
+				}
+				referenced[e.Child]++
+			}
+		}
+		if last > t.Work {
+			return fmt.Errorf("trace: task %d has event offset %d beyond its work %d", i, last, t.Work)
+		}
+	}
+	for i := tr.NumRoots; i < len(tr.Tasks); i++ {
+		if referenced[i] != 1 {
+			return fmt.Errorf("trace: task %d referenced by %d spawn events (want 1)", i, referenced[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,180 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// buildBinaryTree records a perfect binary task tree of the given
+// depth, each task doing `work` units with a taskwait over its
+// children.
+func buildBinaryTree(depth int, work int64) *Trace {
+	rec := NewRecorder()
+	root := rec.Root()
+	var grow func(n *Node, d int)
+	grow = func(n *Node, d int) {
+		n.AddWork(work)
+		if d == 0 {
+			return
+		}
+		l := rec.Spawn(n, false, false, 8)
+		grow(l, d-1)
+		r := rec.Spawn(n, false, false, 8)
+		grow(r, d-1)
+		n.Taskwait()
+	}
+	grow(root, depth)
+	return rec.Finish()
+}
+
+func TestRecorderBasicShape(t *testing.T) {
+	tr := buildBinaryTree(3, 5)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumRoots != 1 {
+		t.Fatalf("roots = %d", tr.NumRoots)
+	}
+	wantTasks := 2 + 4 + 8 // nodes below the root
+	if tr.NumTasks() != wantTasks {
+		t.Fatalf("tasks = %d, want %d", tr.NumTasks(), wantTasks)
+	}
+	if tr.NumDeferred() != wantTasks {
+		t.Fatalf("deferred = %d, want %d", tr.NumDeferred(), wantTasks)
+	}
+	if got, want := tr.TotalWork(), int64(5*(wantTasks+1)); got != want {
+		t.Fatalf("TotalWork = %d, want %d", got, want)
+	}
+	if got, want := tr.NumTaskwaits(), int64(1+2+4); got != want {
+		t.Fatalf("taskwaits = %d, want %d", got, want)
+	}
+}
+
+func TestCriticalPathBinaryTree(t *testing.T) {
+	// In a perfect binary tree where each node does w work before the
+	// children spawn... here AddWork happens before spawning, so the
+	// critical path is (depth+1) × w.
+	for depth := 0; depth <= 5; depth++ {
+		tr := buildBinaryTree(depth, 7)
+		want := int64(7 * (depth + 1))
+		if got := tr.CriticalPath(); got != want {
+			t.Fatalf("depth %d: critical path = %d, want %d", depth, got, want)
+		}
+	}
+}
+
+func TestCriticalPathChain(t *testing.T) {
+	// A chain of inline tasks serializes completely.
+	rec := NewRecorder()
+	root := rec.Root()
+	cur := root
+	for i := 0; i < 10; i++ {
+		cur.AddWork(3)
+		cur = rec.Spawn(cur, false, true, 0)
+	}
+	cur.AddWork(3)
+	tr := rec.Finish()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.CriticalPath(); got != 33 {
+		t.Fatalf("inline chain critical path = %d, want 33", got)
+	}
+}
+
+func TestCriticalPathUnawaitedChildren(t *testing.T) {
+	// A child spawned but never awaited still bounds the region.
+	rec := NewRecorder()
+	root := rec.Root()
+	root.AddWork(1)
+	c := rec.Spawn(root, false, false, 0)
+	c.AddWork(100)
+	root.AddWork(1) // root finishes at 2, child at 1+100
+	tr := rec.Finish()
+	if got := tr.CriticalPath(); got != 101 {
+		t.Fatalf("critical path = %d, want 101", got)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	tr := buildBinaryTree(2, 1)
+	// Corrupt: non-monotonic event offsets.
+	bad := *tr
+	bad.Tasks = append([]Task(nil), tr.Tasks...)
+	if len(bad.Tasks[0].Events) >= 2 {
+		evs := append([]Event(nil), bad.Tasks[0].Events...)
+		evs[0].At = 1 << 40
+		bad.Tasks[0].Events = evs
+		if bad.Validate() == nil {
+			t.Fatal("Validate should catch non-monotonic offsets")
+		}
+	}
+	// Corrupt: dangling parent.
+	bad2 := *tr
+	bad2.Tasks = append([]Task(nil), tr.Tasks...)
+	bad2.Tasks[1].Parent = 999
+	if bad2.Validate() == nil {
+		t.Fatal("Validate should catch out-of-range parents")
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if EvSpawn.String() != "spawn" || EvSpawnInline.String() != "spawn-inline" || EvTaskwait.String() != "taskwait" {
+		t.Fatal("EventKind strings wrong")
+	}
+	if EventKind(9).String() == "" {
+		t.Fatal("unknown kind should stringify")
+	}
+}
+
+func TestWritesAndCapturedRecorded(t *testing.T) {
+	rec := NewRecorder()
+	root := rec.Root()
+	c := rec.Spawn(root, true, false, 64)
+	c.AddWrites(10, 4)
+	tr := rec.Finish()
+	task := tr.Tasks[1]
+	if !task.Untied || task.Captured != 64 {
+		t.Fatalf("spawn metadata lost: %+v", task)
+	}
+	if task.PrivateWrites != 10 || task.SharedWrites != 4 {
+		t.Fatalf("writes lost: %+v", task)
+	}
+	if task.Depth != 1 {
+		t.Fatalf("depth = %d, want 1", task.Depth)
+	}
+}
+
+// TestCriticalPathBounds: for any random task tree, the critical path
+// must lie between the max single-task work and the total work.
+func TestCriticalPathBounds(t *testing.T) {
+	f := func(structure []uint8) bool {
+		rec := NewRecorder()
+		root := rec.Root()
+		nodes := []*Node{root}
+		var maxWork int64 = 1
+		root.AddWork(1)
+		for _, b := range structure {
+			parent := nodes[int(b)%len(nodes)]
+			w := int64(b%17) + 1
+			child := rec.Spawn(parent, b%2 == 0, b%5 == 0, 0)
+			child.AddWork(w)
+			if w > maxWork {
+				maxWork = w
+			}
+			nodes = append(nodes, child)
+			if b%3 == 0 {
+				parent.Taskwait()
+			}
+		}
+		tr := rec.Finish()
+		if tr.Validate() != nil {
+			return false
+		}
+		cp := tr.CriticalPath()
+		return cp >= maxWork && cp <= tr.TotalWork()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
