@@ -12,6 +12,8 @@
 //	bots -bench nqueens -version manual-untied -cutoff 5 -verify=false
 //	bots -bench fib -version none-tied -runtime-cutoff maxtasks
 //	bots -bench sparselu -version for-tied -simulate 32
+//	bots -bench sparselu -version dep-tied -class medium
+//	bots -bench strassen -version future-untied -threads 8
 package main
 
 import (
@@ -59,6 +61,10 @@ func main() {
 	v := *version
 	if v == "" {
 		v = b.BestVersion
+	}
+	if !b.HasVersion(v) {
+		fatal(fmt.Errorf("benchmark %q has no version %q (have %s)",
+			b.Name, v, strings.Join(b.Versions, ", ")))
 	}
 	cfg := core.RunConfig{
 		Class:       class,

@@ -49,6 +49,9 @@ func main() {
 		if v == "" {
 			v = b.BestVersion
 		}
+		if !b.HasVersion(v) {
+			fatal(fmt.Errorf("benchmark %q has no version %q", b.Name, v))
+		}
 		seq, err := b.Seq(class)
 		fatal(err)
 		if seq.Work > 0 {

@@ -1,0 +1,3 @@
+module bots
+
+go 1.22

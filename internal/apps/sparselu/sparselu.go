@@ -8,10 +8,17 @@
 // column kk (bdiv), and trailing-submatrix update (bmod), with
 // fill-in blocks allocated as updates hit null blocks.
 //
-// Two generator schemes are provided, as in the paper: the "single"
-// versions create all tasks from one thread inside a single
-// construct; the "for" versions distribute task creation across the
-// team with a for worksharing construct.
+// Three generator schemes are provided. The "single" and "for"
+// versions are the paper's: one thread creates all tasks inside a
+// single construct with taskwaits between phases, or a for
+// worksharing construct distributes creation with barriers between
+// phases. The "dep" versions are the OpenMP 4.0-style successor the
+// paper's future work points toward: every task carries In/Out/InOut
+// dependence clauses on the blocks it touches, the runtime derives
+// the inter-task ordering from them, and the per-phase barriers
+// disappear entirely — tasks from step kk+1 start as soon as their
+// actual predecessors finish, while unrelated bmod updates from step
+// kk are still in flight.
 package sparselu
 
 import (
@@ -298,6 +305,83 @@ func parFor(c *omp.Context, m *Matrix, untied bool) {
 	}
 }
 
+// symbolicFill precomputes the fill-in pattern: it allocates, in
+// factorization order, every block that Seq would allocate, without
+// touching values. The dep generator needs all block storage to exist
+// before task creation so dependence clauses can name stable
+// addresses across the whole factorization.
+func symbolicFill(m *Matrix) {
+	nb := m.NB
+	for kk := 0; kk < nb; kk++ {
+		for ii := kk + 1; ii < nb; ii++ {
+			if m.at(ii, kk) == nil {
+				continue
+			}
+			for jj := kk + 1; jj < nb; jj++ {
+				if m.at(kk, jj) != nil {
+					m.allocIfNeeded(ii, jj)
+				}
+			}
+		}
+	}
+}
+
+// parDep is the dependence-driven factorization: one generator
+// creates every task of every step up front, with In/Out/InOut
+// clauses keyed on the block storage standing in for the phase
+// barriers of the other schemes. The diagonal-factor and
+// panel-solve tasks sit on the critical path, so they carry a
+// higher priority than the O(nb²) trailing updates.
+func parDep(c *omp.Context, m *Matrix, untied bool) {
+	nb, bs := m.NB, m.BS
+	opts := taskOpts(untied)
+	prioOpts := append(append([]omp.TaskOpt(nil), opts...), omp.Priority(1))
+	bsq := int64(bs) * int64(bs)
+	symbolicFill(m)
+	for kk := 0; kk < nb; kk++ {
+		diag := m.at(kk, kk)
+		c.Task(func(c *omp.Context) {
+			c.AddWork(lu0(diag, bs))
+			c.AddWrites(0, bsq)
+		}, append([]omp.TaskOpt{omp.InOut(diag)}, prioOpts...)...)
+		for jj := kk + 1; jj < nb; jj++ {
+			if b := m.at(kk, jj); b != nil {
+				b := b
+				c.Task(func(c *omp.Context) {
+					c.AddWork(fwd(diag, b, bs))
+					c.AddWrites(bsq/2, bsq/2)
+				}, append([]omp.TaskOpt{omp.In(diag), omp.InOut(b)}, prioOpts...)...)
+			}
+		}
+		for ii := kk + 1; ii < nb; ii++ {
+			if b := m.at(ii, kk); b != nil {
+				b := b
+				c.Task(func(c *omp.Context) {
+					c.AddWork(bdiv(diag, b, bs))
+					c.AddWrites(bsq/2, bsq/2)
+				}, append([]omp.TaskOpt{omp.In(diag), omp.InOut(b)}, prioOpts...)...)
+			}
+		}
+		for ii := kk + 1; ii < nb; ii++ {
+			row := m.at(ii, kk)
+			if row == nil {
+				continue
+			}
+			for jj := kk + 1; jj < nb; jj++ {
+				col := m.at(kk, jj)
+				if col == nil {
+					continue
+				}
+				inner := m.at(ii, jj)
+				c.Task(func(c *omp.Context) {
+					c.AddWork(bmod(row, col, inner, bs))
+					c.AddWrites(bsq/2, bsq/2)
+				}, append([]omp.TaskOpt{omp.In(row, col), omp.InOut(inner)}, opts...)...)
+			}
+		}
+	}
+}
+
 func digest(m *Matrix) string {
 	h := fnv.New64a()
 	var buf [8]byte
@@ -350,6 +434,12 @@ func parRun(cfg core.RunConfig) (*core.RunResult, error) {
 	case "for":
 		st = omp.Parallel(cfg.Threads, func(c *omp.Context) {
 			parFor(c, m, variant.Untied)
+		}, cfg.TeamOpts()...)
+	case "dep":
+		st = omp.Parallel(cfg.Threads, func(c *omp.Context) {
+			c.SingleNowait(func(c *omp.Context) { parDep(c, m, variant.Untied) })
+			// No phase synchronization at all: the region-end barrier
+			// drains the dependence graph.
 		}, cfg.TeamOpts()...)
 	default: // "single"
 		st = omp.Parallel(cfg.Threads, func(c *omp.Context) {

@@ -1,10 +1,13 @@
 package sparselu
 
 import (
+	"bytes"
 	"math"
 	"testing"
 
 	"bots/internal/core"
+	"bots/internal/sim"
+	"bots/internal/trace"
 )
 
 // toDense expands the block matrix to a dense n×n matrix (nil blocks
@@ -137,6 +140,132 @@ func TestWorkParityAcrossGenerators(t *testing.T) {
 		if res.Stats.WorkUnits != seq.Work {
 			t.Fatalf("%s: work %d != sequential %d", v, res.Stats.WorkUnits, seq.Work)
 		}
+	}
+}
+
+// TestDepVersionVerifiesAcrossClasses checks the dependence-driven
+// factorization against the sequential digest on the test, small and
+// medium classes (the acceptance gate for the dep generator).
+func TestDepVersionVerifiesAcrossClasses(t *testing.T) {
+	b, err := core.Get("sparselu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := []core.Class{core.Test, core.Small}
+	if !testing.Short() {
+		classes = append(classes, core.Medium)
+	}
+	for _, class := range classes {
+		seq, err := b.Seq(class)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := b.Run(core.RunConfig{Class: class, Version: "dep-tied", Threads: 4})
+		if err != nil {
+			t.Fatalf("%s: %v", class, err)
+		}
+		if err := b.Check(seq, res); err != nil {
+			t.Fatalf("%s: %v", class, err)
+		}
+		if res.Stats.WorkUnits != seq.Work {
+			t.Fatalf("%s: work %d != sequential %d", class, res.Stats.WorkUnits, seq.Work)
+		}
+	}
+}
+
+// TestDepVersionFewerBarriers: the point of the dependence API — the
+// dep generator must synchronize with strictly fewer barriers than
+// the paper's best barrier-driven scheme (for-tied), and it must
+// actually exercise the dependence machinery.
+func TestDepVersionFewerBarriers(t *testing.T) {
+	b, _ := core.Get("sparselu")
+	dep, err := b.Run(core.RunConfig{Class: core.Test, Version: "dep-tied", Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forv, err := b.Run(core.RunConfig{Class: core.Test, Version: "for-tied", Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.Stats.Barriers >= forv.Stats.Barriers {
+		t.Fatalf("dep-tied barriers = %d, want strictly fewer than for-tied's %d",
+			dep.Stats.Barriers, forv.Stats.Barriers)
+	}
+	if dep.Stats.DepEdges == 0 || dep.Stats.TasksDepDeferred == 0 {
+		t.Fatalf("dep-tied resolved %d edges, deferred %d tasks — dependence machinery unused",
+			dep.Stats.DepEdges, dep.Stats.TasksDepDeferred)
+	}
+	if dep.Stats.Taskwaits != 0 {
+		t.Fatalf("dep-tied used %d taskwaits; the dep graph should need none", dep.Stats.Taskwaits)
+	}
+}
+
+// TestDepTraceRoundTripAndReplay is the end-to-end acceptance test:
+// record a dep-driven region, check the dependence edges survive the
+// binary trace format, and replay the loaded trace in the simulator.
+func TestDepTraceRoundTripAndReplay(t *testing.T) {
+	b, _ := core.Get("sparselu")
+	rec := trace.NewRecorder()
+	const threads = 4
+	if _, err := b.Run(core.RunConfig{
+		Class: core.Test, Version: "dep-tied", Threads: threads, Recorder: rec,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tr := rec.Finish()
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("recorded trace invalid: %v", err)
+	}
+	edges := 0
+	for i := range tr.Tasks {
+		edges += len(tr.Tasks[i].Deps)
+	}
+	if edges == 0 {
+		t.Fatal("recorded dep-tied trace has no dependence edges")
+	}
+	prio := 0
+	for i := range tr.Tasks {
+		if tr.Tasks[i].Priority != 0 {
+			prio++
+		}
+	}
+	if prio == 0 {
+		t.Fatal("recorded dep-tied trace has no prioritized tasks")
+	}
+
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := trace.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadedEdges := 0
+	for i := range loaded.Tasks {
+		loadedEdges += len(loaded.Tasks[i].Deps)
+		for _, d := range loaded.Tasks[i].Deps {
+			found := false
+			for _, od := range tr.Tasks[i].Deps {
+				if od == d {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("task %d: loaded dep %d not in recorded deps %v", i, d, tr.Tasks[i].Deps)
+			}
+		}
+	}
+	if loadedEdges != edges {
+		t.Fatalf("dependence edges after round-trip: %d, want %d", loadedEdges, edges)
+	}
+
+	res, err := sim.Run(loaded, 8, sim.Params{WorkUnitNS: 1})
+	if err != nil {
+		t.Fatalf("simulating dep trace: %v", err)
+	}
+	if res.Speedup <= 1 {
+		t.Errorf("dep graph simulated speedup on 8 threads = %.2f, want > 1", res.Speedup)
 	}
 }
 

@@ -191,6 +191,27 @@ func strassen(e env, c, a, b view, n, depth, cutoff int, variant core.Variant) {
 		for _, p := range products {
 			p(e)
 		}
+	} else if variant.Futures {
+		// Futures version: each product is a typed future; the combine
+		// phase blocks on exactly the values it consumes via Wait
+		// (a task scheduling point — the waiter executes other ready
+		// tasks, including other products, while blocked) instead of a
+		// joint taskwait.
+		futs := make([]*omp.Future[view], len(products))
+		for i, p := range products {
+			i, p := i, p
+			opts := []omp.TaskOpt{omp.Captured(capturedBytes)}
+			if variant.Untied {
+				opts = append(opts, omp.Untied())
+			}
+			futs[i] = omp.Spawn(e.ctx, func(c2 *omp.Context) view {
+				p(env{ctx: c2})
+				return m[i]
+			}, opts...)
+		}
+		for i, f := range futs {
+			m[i] = f.Wait(e.ctx)
+		}
 	} else {
 		spawnAsTask := true
 		if variant.Cutoff == "manual" && depth >= cutoff {
@@ -306,7 +327,7 @@ func init() {
 		TasksInside:    "single",
 		NestedTasks:    true,
 		AppCutoff:      "depth-based",
-		Versions:       core.CutoffVersions(),
+		Versions:       core.FutureVersions(core.CutoffVersions()),
 		BestVersion:    "none-tied",
 		Profile:        core.Profile{MemFraction: 0.55, BandwidthCap: 8},
 		Seq:            seqRun,

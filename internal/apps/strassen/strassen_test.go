@@ -136,3 +136,32 @@ func TestViewSubIndexing(t *testing.T) {
 		t.Fatalf("sub(2,2) wrong: %v %v", q.d[0], q.d[q.ld+1])
 	}
 }
+
+// TestFutureVersionUsesFutures checks the future-based versions go
+// through Spawn/Wait: on the small class the recursion nests, so
+// inner Waits must block (and execute other products meanwhile).
+func TestFutureVersionUsesFutures(t *testing.T) {
+	bm, _ := core.Get("strassen")
+	seq, err := bm.Seq(core.Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, version := range []string{"future-tied", "future-untied"} {
+		res, err := bm.Run(core.RunConfig{Class: core.Small, Version: version, Threads: 4})
+		if err != nil {
+			t.Fatalf("%s: %v", version, err)
+		}
+		if err := bm.Check(seq, res); err != nil {
+			t.Fatalf("%s: %v", version, err)
+		}
+		if res.Stats.FutureWaits == 0 {
+			t.Errorf("%s: FutureWaits = 0, want > 0 (nested recursion must block on futures)", version)
+		}
+		if res.Stats.Taskwaits != 0 {
+			t.Errorf("%s: Taskwaits = %d, want 0 (futures replace taskwait)", version, res.Stats.Taskwaits)
+		}
+		if res.Stats.WorkUnits != seq.Work {
+			t.Errorf("%s: work %d != sequential %d", version, res.Stats.WorkUnits, seq.Work)
+		}
+	}
+}

@@ -135,15 +135,40 @@ func TestParseVersionMatrix(t *testing.T) {
 }
 
 func TestVersionListsAreParseable(t *testing.T) {
-	for _, list := range [][]string{CutoffVersions(), PlainVersions(), GeneratorVersions()} {
+	for _, list := range [][]string{
+		CutoffVersions(), PlainVersions(), GeneratorVersions(),
+		FutureVersions(CutoffVersions()),
+	} {
 		for _, v := range list {
 			if _, err := ParseVersion(v); err != nil {
 				t.Errorf("%q: %v", v, err)
 			}
 		}
 	}
-	if len(CutoffVersions()) != 6 || len(PlainVersions()) != 2 || len(GeneratorVersions()) != 4 {
+	if len(CutoffVersions()) != 6 || len(PlainVersions()) != 2 || len(GeneratorVersions()) != 6 {
 		t.Error("unexpected version list sizes")
+	}
+	if len(FutureVersions(PlainVersions())) != 4 {
+		t.Error("FutureVersions must append future-tied and future-untied")
+	}
+	for _, tc := range []struct {
+		in  string
+		gen string
+		fut bool
+	}{
+		{"dep-tied", "dep", false},
+		{"dep-untied", "dep", false},
+		{"future-tied", "", true},
+		{"future-untied", "", true},
+	} {
+		v, err := ParseVersion(tc.in)
+		if err != nil {
+			t.Errorf("ParseVersion(%q): %v", tc.in, err)
+			continue
+		}
+		if v.Generator != tc.gen || v.Futures != tc.fut {
+			t.Errorf("ParseVersion(%q) = %+v", tc.in, v)
+		}
 	}
 }
 

@@ -13,15 +13,28 @@ import (
 //	"manual-tied" / "manual-untied"        — manual depth cut-off (paper Fig. 2)
 //	"none-tied" / "none-untied"            — no application cut-off
 //	"single-tied" / "for-untied" / ...     — generator scheme (SparseLU)
+//
+// Two post-paper qualifiers expose the OpenMP 4.x-style extensions of
+// the omp runtime (the future work the paper's §V points toward):
+//
+//	"dep-tied" / "dep-untied"              — dependence-driven generator
+//	                                         (In/Out/InOut clauses, no
+//	                                         phase barriers)
+//	"future-tied" / "future-untied"        — typed-future versions
+//	                                         (omp.Spawn/Wait instead of
+//	                                         task+taskwait)
 type Variant struct {
 	// Cutoff is "if", "manual", "none", or "" for benchmarks without
 	// an application-level cut-off.
 	Cutoff string
-	// Generator is "single", "for", or "" for benchmarks without a
-	// generator-scheme choice.
+	// Generator is "single", "for", "dep", or "" for benchmarks
+	// without a generator-scheme choice.
 	Generator string
 	// Untied reports whether tasks carry the untied clause.
 	Untied bool
+	// Futures reports whether the version uses typed futures
+	// (omp.Spawn / Future.Wait) instead of fire-and-forget tasks.
+	Futures bool
 }
 
 // ParseVersion parses a version name into its variant parts.
@@ -45,8 +58,10 @@ func ParseVersion(name string) (Variant, error) {
 	switch parts[0] {
 	case "if", "manual", "none":
 		v.Cutoff = parts[0]
-	case "single", "for":
+	case "single", "for", "dep":
 		v.Generator = parts[0]
+	case "future":
+		v.Futures = true
 	default:
 		return v, fmt.Errorf("core: unknown version qualifier %q in %q", parts[0], name)
 	}
@@ -67,7 +82,15 @@ func PlainVersions() []string {
 }
 
 // GeneratorVersions is the version list for benchmarks with a
-// single/multiple generator choice (sparselu).
+// single/multiple generator choice (sparselu), including the
+// dependence-driven generator that replaces phase barriers with
+// In/Out/InOut task ordering.
 func GeneratorVersions() []string {
-	return []string{"single-tied", "single-untied", "for-tied", "for-untied"}
+	return []string{"single-tied", "single-untied", "for-tied", "for-untied", "dep-tied", "dep-untied"}
+}
+
+// FutureVersions appends the typed-future versions to a benchmark's
+// version list (strassen).
+func FutureVersions(base []string) []string {
+	return append(append([]string(nil), base...), "future-tied", "future-untied")
 }

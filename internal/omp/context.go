@@ -31,11 +31,14 @@ func (c *Context) Depth() int { return int(c.task.depth) }
 func (c *Context) InFinal() bool { return c.task.final }
 
 // Task creates an explicit task executing body. By default the task
-// is tied and deferred; the Untied, If, Final and Captured options
-// modify creation. A deferred task is pushed on the creating worker's
-// deque; an undeferred task (if(false), final ancestor, or runtime
-// cut-off) executes immediately on the encountering thread with full
-// task bookkeeping.
+// is tied and deferred; the Untied, If, Final, Captured, Priority
+// and dependence (In/Out/InOut) options modify creation. A deferred
+// task is pushed on the creating worker's deque (or priority queue);
+// an undeferred task (if(false), final ancestor, or runtime cut-off)
+// executes immediately on the encountering thread with full task
+// bookkeeping. A task with depend clauses is always deferred — its
+// dependences must be able to hold it back — and is enqueued only
+// once every predecessor sibling has finished.
 func (c *Context) Task(body func(*Context), opts ...TaskOpt) {
 	cfg := taskConfig{ifClause: true}
 	for _, o := range opts {
@@ -43,20 +46,27 @@ func (c *Context) Task(body func(*Context), opts ...TaskOpt) {
 	}
 	w, parent, tm := c.w, c.task, c.w.team
 	depth := parent.depth + 1
-	deferred := cfg.ifClause && !parent.final && tm.cutoff.Defer(tm, w, depth)
+	hasDeps := len(cfg.deps) > 0
+	deferred := hasDeps || (cfg.ifClause && !parent.final && tm.cutoff.Defer(tm, w, depth))
 
 	t := &task{
-		body:    body,
-		parent:  parent,
-		team:    tm,
-		creator: w,
-		depth:   depth,
-		untied:  cfg.untied,
-		final:   cfg.final || parent.final,
-		group:   parent.group,
+		body:     body,
+		parent:   parent,
+		team:     tm,
+		creator:  w,
+		depth:    depth,
+		untied:   cfg.untied,
+		final:    cfg.final || parent.final,
+		priority: cfg.priority,
+		group:    parent.group,
+		hasDeps:  hasDeps,
+		latch:    cfg.latch,
 	}
 	if tm.rec != nil {
 		t.node = tm.rec.Spawn(parent.node, cfg.untied, !deferred, cfg.captured)
+		if cfg.priority != 0 {
+			t.node.SetPriority(cfg.priority)
+		}
 	}
 	w.stats.capturedBytes += int64(cfg.captured)
 
@@ -88,7 +98,24 @@ func (c *Context) Task(body func(*Context), opts ...TaskOpt) {
 		t.group.enter()
 	}
 	tm.liveTasks.Add(1)
-	w.dq.pushBottom(t)
+	if hasDeps {
+		// Hold the creation guard while edges are wired so a
+		// concurrently finishing predecessor cannot release the task
+		// before resolution completes.
+		t.depsLeft.Store(1)
+		if parent.depTab == nil {
+			parent.depTab = &depTracker{entries: make(map[uintptr]*depEntry)}
+		}
+		parent.depTab.resolve(t, cfg.deps, w)
+		if t.depsLeft.Add(-1) > 0 {
+			// Deferred on its dependences: counted everywhere
+			// (pending, taskgroup, liveTasks) but not enqueued; the
+			// last predecessor to finish will enqueue it.
+			w.stats.tasksDepDeferred++
+			return
+		}
+	}
+	w.enqueue(t)
 }
 
 // finishInline is finish for undeferred tasks: they were never added

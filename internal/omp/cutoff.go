@@ -68,7 +68,7 @@ func (p MaxQueue) Defer(_ *Team, w *worker, _ int32) bool {
 	if lim <= 0 {
 		lim = 32
 	}
-	return w.dq.size() < lim
+	return w.queued() < lim
 }
 
 // Name implements CutoffPolicy.
@@ -109,7 +109,7 @@ func (p Adaptive) Defer(tm *Team, w *worker, _ int32) bool {
 	if high <= 0 {
 		high = 64
 	}
-	n := w.dq.size()
+	n := w.queued()
 	if n < low {
 		return true
 	}

@@ -1,0 +1,227 @@
+package omp
+
+import (
+	"fmt"
+	"reflect"
+)
+
+// This file implements OpenMP 4.0-style task dependences: the In,
+// Out and InOut task options declare the storage a task reads or
+// writes, and the runtime derives predecessor/successor edges between
+// sibling tasks from those declarations. A task with unfinished
+// predecessors is *deferred on its dependences*: it is created (and
+// counts toward taskwait/taskgroup/barrier completion) but is not
+// enqueued until its last predecessor finishes.
+//
+// Scope follows the OpenMP rules: depend clauses order tasks that
+// share a parent (the dependence domain is per generating task
+// region). Each parent task owns a dependence hash table mapping
+// storage addresses to the last writer and the reader set since that
+// writer; the table is only ever touched by the thread currently
+// executing the parent (task creation is a parent-side operation), so
+// it needs no lock. The per-task successor lists *are* shared with
+// finishing workers and are guarded by the task's depMu.
+//
+// See DESIGN.md for the full protocol, including why a released task
+// must wake parked waiters.
+
+// depMode is the access mode of one dependence clause.
+type depMode uint8
+
+const (
+	depIn depMode = iota
+	depOut
+	depInOut
+)
+
+// dep is one resolved (address, mode) pair of a task's depend clauses.
+type dep struct {
+	addr uintptr
+	mode depMode
+}
+
+// depAddr extracts the dependence address of one depend-clause
+// operand: the pointed-to object for pointers, the backing array for
+// slices, or a raw uintptr address. Dependences are purely nominal —
+// the runtime never dereferences the address, it is only a hash key —
+// so any stable address that names the data works.
+func depAddr(obj any) uintptr {
+	switch v := obj.(type) {
+	case uintptr:
+		return v
+	}
+	rv := reflect.ValueOf(obj)
+	switch rv.Kind() {
+	case reflect.Pointer, reflect.Slice, reflect.UnsafePointer, reflect.Map, reflect.Chan, reflect.Func:
+		return rv.Pointer()
+	}
+	panic(fmt.Sprintf("omp: depend clause operand must be a pointer, slice or uintptr address, got %T", obj))
+}
+
+func appendDeps(c *taskConfig, mode depMode, objs []any) {
+	for _, o := range objs {
+		c.deps = append(c.deps, dep{addr: depAddr(o), mode: mode})
+	}
+}
+
+// In declares input dependences: the task reads the listed storage
+// and must wait for the previous sibling that declared it as an
+// output. Operands may be pointers, slices (the backing array is the
+// address), or raw uintptr addresses.
+func In(objs ...any) TaskOpt { return func(c *taskConfig) { appendDeps(c, depIn, objs) } }
+
+// Out declares output dependences: the task writes the listed storage
+// and must wait for the previous writer and for every reader since.
+func Out(objs ...any) TaskOpt { return func(c *taskConfig) { appendDeps(c, depOut, objs) } }
+
+// InOut declares read-write dependences; the ordering rules are the
+// same as Out (wait for last writer and all readers since).
+func InOut(objs ...any) TaskOpt { return func(c *taskConfig) { appendDeps(c, depInOut, objs) } }
+
+// Priority sets the task's scheduling priority (OpenMP 4.5 priority
+// clause). Higher values are picked first by both the owning worker
+// and thieves; the default is 0, and negative values are clamped to
+// it (as in OpenMP, where priority is non-negative). Priority is a
+// scheduling hint, not a correctness guarantee.
+func Priority(p int) TaskOpt {
+	if p < 0 {
+		p = 0
+	}
+	return func(c *taskConfig) { c.priority = int32(p) }
+}
+
+// depEntry is the dependence-table record for one address: the last
+// sibling task that declared an output dependence on it, and every
+// sibling that declared an input dependence since that writer.
+type depEntry struct {
+	lastOut *task
+	readers []*task
+}
+
+// depTracker is the per-parent dependence hash table. It is created
+// lazily on the first dependent child and accessed only by the thread
+// executing the parent task.
+type depTracker struct {
+	entries map[uintptr]*depEntry
+}
+
+func (tr *depTracker) entry(addr uintptr) *depEntry {
+	e := tr.entries[addr]
+	if e == nil {
+		e = &depEntry{}
+		tr.entries[addr] = e
+	}
+	return e
+}
+
+// resolve registers t's dependences against the parent's table,
+// wiring t as a successor of each unfinished predecessor and
+// recording the dependence edges on the trace node (when tracing).
+// It returns the number of dependence edges found (finished
+// predecessors included). On return the table reflects t's own
+// accesses for subsequent siblings.
+//
+// t.depsLeft must hold the creation guard (1) before resolve is
+// called, so concurrent predecessor completions cannot release t
+// while edges are still being added.
+func (tr *depTracker) resolve(t *task, deps []dep, w *worker) int64 {
+	edges := int64(0)
+	link := func(p *task) {
+		if p == nil || p == t {
+			return
+		}
+		edges++
+		if t.node != nil && p.node != nil {
+			t.node.DependsOn(p.node)
+		}
+		p.depMu.Lock()
+		if p.depDone {
+			p.depMu.Unlock()
+			return
+		}
+		t.depsLeft.Add(1)
+		p.succs = append(p.succs, t)
+		p.depMu.Unlock()
+	}
+	for _, d := range deps {
+		e := tr.entry(d.addr)
+		switch d.mode {
+		case depIn:
+			link(e.lastOut)
+			e.readers = append(e.readers, t)
+		case depOut, depInOut:
+			if len(e.readers) > 0 {
+				for _, r := range e.readers {
+					link(r)
+				}
+			} else {
+				link(e.lastOut)
+			}
+			e.lastOut = t
+			e.readers = nil
+		}
+	}
+	w.stats.depEdges += edges
+	return edges
+}
+
+// releaseSuccessors performs the completion side of the dependence
+// protocol: mark t done (so no new successors can attach) and hand
+// every successor whose last predecessor was t to worker w's queues.
+func (t *task) releaseSuccessors(w *worker) {
+	if !t.hasDeps {
+		// Only tasks that declared depend clauses can appear in the
+		// parent's dependence table, so only they can ever acquire
+		// successors; the common fire-and-forget path stays lock-free.
+		return
+	}
+	t.depMu.Lock()
+	t.depDone = true
+	succs := t.succs
+	t.succs = nil
+	t.depMu.Unlock()
+	for _, s := range succs {
+		if s.depsLeft.Add(-1) == 0 {
+			w.stats.depReleases++
+			w.enqueueReleased(s)
+		}
+	}
+}
+
+// enqueueReleased makes a dependence-released task runnable on w and
+// wakes any parked waiter that may now be able to execute or steal
+// it. The wakes are what keep the runtime deadlock-free: unlike a
+// freshly created task (which its creator can always reach at the
+// bottom of its own deque before parking), a released task appears in
+// an arbitrary worker's queue while the tasks waiting on it may
+// already be parked.
+func (w *worker) enqueueReleased(t *task) {
+	w.enqueue(t)
+	if p := t.parent; p != nil {
+		p.signalWake()
+	}
+	if t.group != nil {
+		t.group.signal()
+	}
+	if t.latch != nil {
+		t.latch.signal()
+	}
+}
+
+// enqueue pushes a ready task on w's queues: the priority queue when
+// the task carries a non-zero priority, the work-stealing deque
+// otherwise. Owner-side only (w must be the calling worker).
+func (w *worker) enqueue(t *task) {
+	if t.priority != 0 {
+		w.pq.push(t)
+	} else {
+		w.dq.pushBottom(t)
+	}
+}
+
+// queued returns the worker's total ready backlog across both queues
+// — what queue-depth-based cut-off policies must see, or prioritized
+// tasks would be invisible to them.
+func (w *worker) queued() int64 {
+	return w.dq.size() + w.pq.size()
+}

@@ -1,0 +1,322 @@
+package omp
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestDepChainOrders checks that an Out → In → In chain executes in
+// declaration order even when many threads compete for the tasks.
+func TestDepChainOrders(t *testing.T) {
+	for rep := 0; rep < 20; rep++ {
+		x := new(int)
+		var order []int
+		var mu sync.Mutex
+		push := func(v int) {
+			mu.Lock()
+			order = append(order, v)
+			mu.Unlock()
+		}
+		Parallel(4, func(c *Context) {
+			c.SingleNowait(func(c *Context) {
+				c.Task(func(*Context) { push(1) }, Out(x))
+				c.Task(func(*Context) { push(2) }, InOut(x))
+				c.Task(func(*Context) { push(3) }, In(x))
+			})
+		})
+		if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+			t.Fatalf("rep %d: chain executed as %v, want [1 2 3]", rep, order)
+		}
+	}
+}
+
+// TestDepDiamond checks the diamond: one producer, two parallel
+// readers, one join that must wait for both readers.
+func TestDepDiamond(t *testing.T) {
+	for rep := 0; rep < 20; rep++ {
+		x := new(int)
+		var readersDone atomic.Int32
+		var producerDone atomic.Bool
+		var joinSawReaders int32
+		var joinSawProducer bool
+		Parallel(4, func(c *Context) {
+			c.SingleNowait(func(c *Context) {
+				c.Task(func(*Context) { producerDone.Store(true) }, Out(x))
+				c.Task(func(*Context) {
+					if !producerDone.Load() {
+						t.Error("reader 1 ran before producer")
+					}
+					readersDone.Add(1)
+				}, In(x))
+				c.Task(func(*Context) {
+					if !producerDone.Load() {
+						t.Error("reader 2 ran before producer")
+					}
+					readersDone.Add(1)
+				}, In(x))
+				c.Task(func(*Context) {
+					joinSawReaders = readersDone.Load()
+					joinSawProducer = producerDone.Load()
+				}, Out(x))
+			})
+		})
+		if joinSawReaders != 2 || !joinSawProducer {
+			t.Fatalf("rep %d: join ran with %d readers done (want 2)", rep, joinSawReaders)
+		}
+	}
+}
+
+// TestDepReadersRunConcurrently checks that In tasks on the same
+// address do not depend on each other: two readers parked on a
+// rendezvous can only both arrive if they are runnable concurrently.
+func TestDepReadersRunConcurrently(t *testing.T) {
+	x := new(int)
+	var arrived atomic.Int32
+	Parallel(2, func(c *Context) {
+		c.SingleNowait(func(c *Context) {
+			for i := 0; i < 2; i++ {
+				c.Task(func(*Context) {
+					arrived.Add(1)
+					for arrived.Load() < 2 {
+						// Busy-wait for the sibling reader: deadlocks
+						// (and times out) if readers were serialized.
+					}
+				}, In(x))
+			}
+		})
+	})
+	if arrived.Load() != 2 {
+		t.Fatalf("readers arrived = %d, want 2", arrived.Load())
+	}
+}
+
+// TestDepStats checks the new runtime counters: edges found, tasks
+// deferred on dependences, and releases.
+func TestDepStats(t *testing.T) {
+	x := new(int)
+	st := Parallel(1, func(c *Context) {
+		c.Task(func(*Context) {}, Out(x))
+		c.Task(func(*Context) {}, In(x))
+		c.Task(func(*Context) {}, In(x))
+		c.Task(func(*Context) {}, InOut(x))
+		c.Taskwait()
+	})
+	// writer→reader ×2, then the InOut waits on both readers:
+	// 4 edges in total.
+	if st.DepEdges != 4 {
+		t.Errorf("DepEdges = %d, want 4", st.DepEdges)
+	}
+	if st.TasksDepDeferred == 0 {
+		t.Error("TasksDepDeferred = 0, want > 0 (single thread cannot overlap)")
+	}
+	if st.DepReleases != st.TasksDepDeferred {
+		t.Errorf("DepReleases = %d, want %d (every deferred task released)",
+			st.DepReleases, st.TasksDepDeferred)
+	}
+	if st.TotalTasks() != 4 {
+		t.Errorf("TotalTasks = %d, want 4", st.TotalTasks())
+	}
+}
+
+// TestDepStress is the -race workhorse: a blocked lower-triangular
+// sweep where every cell update depends on the cell above and to the
+// left, repeated across threads; any missed edge corrupts the final
+// values deterministically.
+func TestDepStress(t *testing.T) {
+	const n = 24
+	grid := make([][]float64, n*n)
+	for i := range grid {
+		grid[i] = []float64{0}
+	}
+	grid[0][0] = 1
+	st := Parallel(8, func(c *Context) {
+		c.SingleNowait(func(c *Context) {
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if i == 0 && j == 0 {
+						continue
+					}
+					cell := grid[i*n+j]
+					opts := []TaskOpt{Out(cell)}
+					var up, left []float64
+					if i > 0 {
+						up = grid[(i-1)*n+j]
+						opts = append(opts, In(up))
+					}
+					if j > 0 {
+						left = grid[i*n+j-1]
+						opts = append(opts, In(left))
+					}
+					c.Task(func(c *Context) {
+						v := 0.0
+						if up != nil {
+							v += up[0]
+						}
+						if left != nil {
+							v += left[0]
+						}
+						cell[0] = v
+						c.AddWork(1)
+					}, opts...)
+				}
+			}
+		})
+	})
+	// The wavefront computes Pascal's triangle: cell (i,j) holds
+	// C(i+j, i). Check a few anchor cells.
+	if got := grid[1*n+1][0]; got != 2 {
+		t.Errorf("grid[1][1] = %v, want 2", got)
+	}
+	if got := grid[2*n+2][0]; got != 6 {
+		t.Errorf("grid[2][2] = %v, want 6", got)
+	}
+	if got := grid[3*n+3][0]; got != 20 {
+		t.Errorf("grid[3][3] = %v, want 20", got)
+	}
+	if st.TasksDepDeferred == 0 {
+		t.Error("stress run never deferred a task on a dependence")
+	}
+}
+
+// TestDepWithTaskgroup checks that dependence-deferred tasks are
+// correctly drained by an enclosing taskgroup, including descendants
+// spawned by dep tasks.
+func TestDepWithTaskgroup(t *testing.T) {
+	x := new(int)
+	var done atomic.Int32
+	Parallel(4, func(c *Context) {
+		c.SingleNowait(func(c *Context) {
+			c.Taskgroup(func(c *Context) {
+				c.Task(func(c *Context) {
+					done.Add(1)
+					c.Task(func(*Context) { done.Add(1) }) // grandchild
+				}, Out(x))
+				c.Task(func(c *Context) {
+					done.Add(1)
+					c.Task(func(*Context) { done.Add(1) }) // grandchild
+				}, In(x))
+			})
+			if got := done.Load(); got != 4 {
+				t.Errorf("after taskgroup: %d tasks done, want 4", got)
+			}
+		})
+	})
+}
+
+// TestDepTaskwaitDrains checks taskwait over a dependence graph: all
+// children (including held ones) must be complete when it returns.
+func TestDepTaskwaitDrains(t *testing.T) {
+	x, y := new(int), new(int)
+	var done atomic.Int32
+	Parallel(2, func(c *Context) {
+		c.SingleNowait(func(c *Context) {
+			c.Task(func(*Context) { done.Add(1) }, Out(x))
+			c.Task(func(*Context) { done.Add(1) }, Out(y))
+			c.Task(func(*Context) { done.Add(1) }, In(x), In(y))
+			c.Taskwait()
+			if got := done.Load(); got != 3 {
+				t.Errorf("after taskwait: %d children done, want 3", got)
+			}
+		})
+	})
+}
+
+// TestPriorityPicksHighFirst checks that a worker drains its priority
+// queue highest-first and before the regular deque.
+func TestPriorityPicksHighFirst(t *testing.T) {
+	var order []int
+	Parallel(1, func(c *Context) {
+		record := func(v int) func(*Context) {
+			return func(*Context) { order = append(order, v) }
+		}
+		c.Task(record(0))
+		c.Task(record(1), Priority(1))
+		c.Task(record(3), Priority(3))
+		c.Task(record(2), Priority(2))
+		c.Taskwait()
+	})
+	want := []int{3, 2, 1, 0}
+	if len(order) != 4 {
+		t.Fatalf("ran %d tasks, want 4", len(order))
+	}
+	for i, v := range want {
+		if order[i] != v {
+			t.Fatalf("execution order %v, want %v (priority then LIFO deque)", order, want)
+		}
+	}
+}
+
+// TestPriorityStolen checks that thieves raid priority queues: with
+// the creator spinning, another worker must pick up the priority task
+// before the plain one.
+func TestPriorityStolen(t *testing.T) {
+	for rep := 0; rep < 10; rep++ {
+		var first atomic.Int32
+		var release atomic.Bool
+		Parallel(2, func(c *Context) {
+			if c.ThreadNum() == 0 {
+				c.Task(func(*Context) { first.CompareAndSwap(0, 1) })
+				c.Task(func(*Context) { first.CompareAndSwap(0, 2) }, Priority(5))
+				release.Store(true)
+				c.Taskwait()
+			} else {
+				for !release.Load() {
+				}
+			}
+		})
+		// Whoever ran first, the graph must complete; the common case
+		// (and the point of the hint) is the priority task first. We
+		// only assert completion plus that the priority path is
+		// exercised; strict ordering between two ready tasks is a
+		// hint, not a guarantee, once the creator itself starts
+		// popping LIFO.
+		if first.Load() == 0 {
+			t.Fatalf("rep %d: no task ran", rep)
+		}
+	}
+}
+
+// TestDepUntiedGraph runs the chain test with untied tasks to cover
+// the unconstrained scheduling path.
+func TestDepUntiedGraph(t *testing.T) {
+	x := new(int)
+	var order []int32
+	var next atomic.Int32
+	Parallel(4, func(c *Context) {
+		c.SingleNowait(func(c *Context) {
+			for i := int32(0); i < 8; i++ {
+				i := i
+				c.Task(func(*Context) {
+					if next.CompareAndSwap(i, i+1) {
+						order = append(order, i)
+					}
+				}, InOut(x), Untied())
+			}
+		})
+	})
+	if next.Load() != 8 {
+		t.Fatalf("untied InOut chain executed out of order: reached %d/8", next.Load())
+	}
+}
+
+// TestDepAddrKinds checks the accepted depend-clause operand kinds.
+func TestDepAddrKinds(t *testing.T) {
+	v := 3.0
+	s := []float64{1, 2}
+	if depAddr(&v) == 0 || depAddr(s) == 0 {
+		t.Error("pointer/slice operands must yield non-zero addresses")
+	}
+	if depAddr(uintptr(42)) != 42 {
+		t.Error("uintptr operands must pass through")
+	}
+	if depAddr(&v) != depAddr(&v) {
+		t.Error("same pointer must yield the same address")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("depAddr(int) should panic")
+		}
+	}()
+	depAddr(7)
+}

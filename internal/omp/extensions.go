@@ -68,15 +68,23 @@ func (tg *taskgroup) enter() { tg.live.Add(1) }
 
 func (tg *taskgroup) leave() {
 	if tg.live.Add(-1) == 0 {
-		tg.mu.lock()
-		if tg.wake != nil {
-			select {
-			case tg.wake <- struct{}{}:
-			default:
-			}
-		}
-		tg.mu.unlock()
+		tg.signal()
 	}
+}
+
+// signal delivers one wakeup token to a parked Taskgroup drain. It is
+// called when the group's live count reaches zero and when a
+// dependence release makes a group member runnable (the parked
+// drainer may be the only thread able to execute it).
+func (tg *taskgroup) signal() {
+	tg.mu.lock()
+	if tg.wake != nil {
+		select {
+		case tg.wake <- struct{}{}:
+		default:
+		}
+	}
+	tg.mu.unlock()
 }
 
 func (tg *taskgroup) park() {
@@ -115,9 +123,25 @@ func (c *Context) Sections(sections ...func(*Context)) {
 // op, under the construct's critical section — the NQueens reduction
 // pattern (§III-B of the paper) packaged as a helper. It must be
 // called by every thread of the team; the reduced value is returned
-// on all of them after an implicit barrier.
+// on all of them after an implicit barrier. The first thread to
+// arrive seeds *out with zero (the operation's identity), so the
+// caller need not pre-initialize it and any stale value in *out is
+// discarded, matching how an OpenMP reduction privatizes and seeds
+// its variable.
 func Reduce[T any](c *Context, tp *ThreadPrivate[T], zero T, op func(T, T) T, out *T) {
+	idx := c.w.reduceIdx
+	c.w.reduceIdx++
+	tm := c.w.team
 	c.Critical("omp.reduce", func() {
+		tm.wsMu.Lock()
+		first := !tm.wsReduces[idx]
+		if first {
+			tm.wsReduces[idx] = true
+		}
+		tm.wsMu.Unlock()
+		if first {
+			*out = zero
+		}
 		*out = op(*out, *tp.Get(c))
 	})
 	c.Barrier()

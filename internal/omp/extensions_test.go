@@ -112,6 +112,59 @@ func TestReduceHelper(t *testing.T) {
 	})
 }
 
+// TestReduceSeedsZero is the regression test for the zero parameter:
+// Reduce must seed the accumulator with the given identity, so a
+// stale value in *out (here 999) cannot leak into the result.
+func TestReduceSeedsZero(t *testing.T) {
+	const threads = 4
+	tp := NewThreadPrivate[int64](threads)
+	total := int64(999) // deliberately dirty
+	Parallel(threads, func(c *Context) {
+		*tp.Get(c) = int64(c.ThreadNum() + 1)
+		Reduce(c, tp, 0, func(a, b int64) int64 { return a + b }, &total)
+	})
+	if total != 10 {
+		t.Fatalf("Reduce with dirty *out = %d, want 10 (zero must seed the fold)", total)
+	}
+}
+
+// TestReduceNonZeroIdentity checks a non-additive fold where the
+// identity matters: min with a +Inf-like seed.
+func TestReduceNonZeroIdentity(t *testing.T) {
+	const threads = 4
+	tp := NewThreadPrivate[int](threads)
+	out := -5 // dirty and smaller than every value: wrong answer if used
+	Parallel(threads, func(c *Context) {
+		*tp.Get(c) = c.ThreadNum() + 10
+		min := func(a, b int) int {
+			if a < b {
+				return a
+			}
+			return b
+		}
+		Reduce(c, tp, 1<<30, min, &out)
+	})
+	if out != 10 {
+		t.Fatalf("min-reduction = %d, want 10", out)
+	}
+}
+
+// TestReduceTwice checks that two Reduce constructs in one region get
+// independent seeding (per-instance bookkeeping).
+func TestReduceTwice(t *testing.T) {
+	const threads = 3
+	tp := NewThreadPrivate[int64](threads)
+	var a, b int64
+	Parallel(threads, func(c *Context) {
+		*tp.Get(c) = 2
+		Reduce(c, tp, 0, func(x, y int64) int64 { return x + y }, &a)
+		Reduce(c, tp, 0, func(x, y int64) int64 { return x + y }, &b)
+	})
+	if a != 6 || b != 6 {
+		t.Fatalf("two reductions = %d, %d; want 6, 6", a, b)
+	}
+}
+
 func TestTaskPanicPropagates(t *testing.T) {
 	defer func() {
 		r := recover()

@@ -1,0 +1,111 @@
+package omp
+
+import "sync/atomic"
+
+// latch is a reusable broadcast wakeup: park blocks until the next
+// signal (or returns immediately if done already holds), and signal
+// wakes every parked goroutine by closing the current wait channel.
+// It generalizes the task/taskgroup park protocol to any number of
+// concurrent waiters, which futures need (several tasks may Wait on
+// the same Future).
+type latch struct {
+	mu   spinlessMutex
+	wake chan struct{}
+}
+
+// signal wakes all current parkers. Safe to call repeatedly.
+func (l *latch) signal() {
+	l.mu.lock()
+	if l.wake != nil {
+		close(l.wake)
+		l.wake = nil
+	}
+	l.mu.unlock()
+}
+
+// park blocks until signal, unless done() already holds. The
+// done-check runs under the latch lock, so a signal sent after done
+// became true cannot be missed.
+func (l *latch) park(done func() bool) {
+	l.mu.lock()
+	if done() {
+		l.mu.unlock()
+		return
+	}
+	if l.wake == nil {
+		l.wake = make(chan struct{})
+	}
+	ch := l.wake
+	l.mu.unlock()
+	<-ch
+}
+
+// Future is the typed result of a task created with Spawn: a
+// single-assignment cell the producing task fills and any task of the
+// region can Wait on. It is the structured alternative to writing
+// through a captured pointer and calling Taskwait.
+type Future[T any] struct {
+	val  T
+	done atomic.Bool
+	l    latch
+}
+
+// Done reports whether the producing task has completed.
+func (f *Future[T]) Done() bool { return f.done.Load() }
+
+// Spawn creates a task computing fn and returns a Future for its
+// result. All task options apply: dependences (In/Out/InOut),
+// Priority, Untied, If, Final, Captured. If the producing task
+// panics, the Future completes with the zero value and the panic is
+// re-raised when the parallel region returns, as for any task.
+func Spawn[T any](c *Context, fn func(*Context) T, opts ...TaskOpt) *Future[T] {
+	f := &Future[T]{}
+	opts = append(opts, withLatch(&f.l))
+	c.Task(func(tc *Context) {
+		defer func() {
+			f.done.Store(true)
+			f.l.signal()
+		}()
+		f.val = fn(tc)
+	}, opts...)
+	return f
+}
+
+// withLatch attaches the future's latch to the task so that a
+// dependence release can wake parked waiters (see enqueueReleased).
+func withLatch(l *latch) TaskOpt { return func(c *taskConfig) { c.latch = l } }
+
+// Wait blocks until the producing task has completed and returns its
+// value. Like taskwait, waiting is a task scheduling point: the
+// calling thread executes other ready tasks while blocked, subject to
+// the OpenMP task scheduling constraint (suspended in a tied task it
+// may only run descendants of that task). Wait may be called from any
+// task of the region, any number of times, on any number of threads.
+//
+// When tracing, a blocking Wait is recorded as a taskwait event on
+// the waiting task: the trace format has no single-task join, so the
+// replayed constraint is a conservative join on all children the
+// waiter has spawned so far (exact for the common wait-for-all
+// pattern, pessimistic when unrelated children are still running).
+func (f *Future[T]) Wait(c *Context) T {
+	if f.done.Load() {
+		return f.val
+	}
+	w, cur := c.w, c.task
+	w.stats.futureWaits++
+	if cur.node != nil {
+		cur.node.Taskwait()
+	}
+	constraint := cur
+	if cur.untied {
+		constraint = nil
+	}
+	for !f.done.Load() {
+		if w.runOne(constraint) {
+			continue
+		}
+		w.stats.taskwaitParks++
+		f.l.park(f.done.Load)
+	}
+	return f.val
+}

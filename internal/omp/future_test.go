@@ -1,0 +1,126 @@
+package omp
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// futureFib computes fib with a typed future per recursive call — the
+// heaviest structural exercise of Wait-executes-other-tasks: every
+// level of the tree blocks on two futures while the runtime steals.
+func futureFib(c *Context, n int) int {
+	if n < 2 {
+		return n
+	}
+	f1 := Spawn(c, func(c *Context) int { return futureFib(c, n-1) })
+	f2 := Spawn(c, func(c *Context) int { return futureFib(c, n-2) })
+	return f1.Wait(c) + f2.Wait(c)
+}
+
+func TestFutureFib(t *testing.T) {
+	for _, threads := range []int{1, 4, 8} {
+		var got int
+		st := Parallel(threads, func(c *Context) {
+			c.SingleNowait(func(c *Context) {
+				got = futureFib(c, 16)
+			})
+		})
+		if got != 987 {
+			t.Errorf("threads=%d: futureFib(16) = %d, want 987", threads, got)
+		}
+		if threads == 1 && st.TotalTasks() == 0 {
+			t.Error("futures created no tasks")
+		}
+	}
+}
+
+// TestFutureValueTypes checks Spawn/Wait round-trips for a non-scalar
+// payload (the generic T, not just int).
+func TestFutureValueTypes(t *testing.T) {
+	type result struct {
+		name string
+		vals []int
+	}
+	Parallel(2, func(c *Context) {
+		c.SingleNowait(func(c *Context) {
+			f := Spawn(c, func(*Context) result {
+				return result{name: "x", vals: []int{1, 2, 3}}
+			})
+			r := f.Wait(c)
+			if r.name != "x" || len(r.vals) != 3 {
+				t.Errorf("future payload = %+v", r)
+			}
+			// A second Wait returns the cached value.
+			if r2 := f.Wait(c); r2.name != "x" {
+				t.Errorf("second Wait = %+v", r2)
+			}
+		})
+	})
+}
+
+// TestFutureUndeferred checks Spawn with if(false): the producing
+// task runs inline, so the future is complete before Spawn returns.
+func TestFutureUndeferred(t *testing.T) {
+	Parallel(1, func(c *Context) {
+		f := Spawn(c, func(*Context) int { return 7 }, If(false))
+		if !f.Done() {
+			t.Error("if(false) future should be complete at Spawn return")
+		}
+		if got := f.Wait(c); got != 7 {
+			t.Errorf("Wait = %d, want 7", got)
+		}
+	})
+}
+
+// TestFutureManyWaiters has several tasks Wait on one future; the
+// latch must wake all of them.
+func TestFutureManyWaiters(t *testing.T) {
+	var sum atomic.Int64
+	var gate atomic.Bool
+	Parallel(4, func(c *Context) {
+		c.SingleNowait(func(c *Context) {
+			f := Spawn(c, func(*Context) int {
+				for !gate.Load() {
+					// Hold the value back until all waiters exist.
+				}
+				return 5
+			}, Untied())
+			for i := 0; i < 3; i++ {
+				c.Task(func(c *Context) {
+					sum.Add(int64(f.Wait(c)))
+				}, Untied())
+			}
+			gate.Store(true)
+		})
+	})
+	if sum.Load() != 15 {
+		t.Errorf("3 waiters summed %d, want 15", sum.Load())
+	}
+}
+
+// TestFutureWithDeps combines both new mechanisms: the future's
+// producing task carries dependence clauses, so Wait blocks on a task
+// that is itself held back by a predecessor.
+func TestFutureWithDeps(t *testing.T) {
+	x := new(int)
+	Parallel(4, func(c *Context) {
+		c.SingleNowait(func(c *Context) {
+			c.Task(func(*Context) { *x = 41 }, Out(x))
+			f := Spawn(c, func(*Context) int { return *x + 1 }, In(x))
+			if got := f.Wait(c); got != 42 {
+				t.Errorf("dependent future = %d, want 42", got)
+			}
+		})
+	})
+}
+
+// TestFutureStats checks the FutureWaits counter.
+func TestFutureStats(t *testing.T) {
+	st := Parallel(1, func(c *Context) {
+		f := Spawn(c, func(*Context) int { return 1 })
+		f.Wait(c)
+	})
+	if st.FutureWaits != 1 {
+		t.Errorf("FutureWaits = %d, want 1", st.FutureWaits)
+	}
+}

@@ -1,0 +1,69 @@
+package omp
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// prioQueue holds a worker's ready tasks that carry a non-zero
+// priority. Unlike the Chase–Lev deque it is a small mutex-guarded
+// structure: priorities are rare (a handful of critical-path tasks
+// among thousands), so contention is negligible and a scan beats
+// heap bookkeeping at these sizes. Both the owner and thieves take
+// from it, always highest-priority first, FIFO among equals. The
+// atomic length keeps the empty case — every runOne of a program
+// that never uses Priority — lock-free.
+type prioQueue struct {
+	n     atomic.Int32
+	mu    sync.Mutex
+	items []prioItem
+	seq   uint64
+}
+
+type prioItem struct {
+	t   *task
+	seq uint64
+}
+
+// push appends a task; callable from the owning worker only (like
+// pushBottom), but take may race with it from any goroutine.
+func (q *prioQueue) push(t *task) {
+	q.mu.Lock()
+	q.items = append(q.items, prioItem{t: t, seq: q.seq})
+	q.seq++
+	q.n.Store(int32(len(q.items)))
+	q.mu.Unlock()
+}
+
+// take removes and returns the highest-priority task accepted by
+// pred (nil accepts all), breaking ties by insertion order. It
+// returns nil when no admissible task is queued. The empty check is
+// a single atomic load, so callers may probe freely on hot paths.
+func (q *prioQueue) take(pred func(*task) bool) *task {
+	if q.n.Load() == 0 {
+		return nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	best := -1
+	for i := range q.items {
+		it := &q.items[i]
+		if pred != nil && !pred(it.t) {
+			continue
+		}
+		if best < 0 || it.t.priority > q.items[best].t.priority ||
+			(it.t.priority == q.items[best].t.priority && it.seq < q.items[best].seq) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	t := q.items[best].t
+	q.items = append(q.items[:best], q.items[best+1:]...)
+	q.n.Store(int32(len(q.items)))
+	return t
+}
+
+// size returns the current number of queued priority tasks.
+func (q *prioQueue) size() int64 { return int64(q.n.Load()) }

@@ -22,6 +22,19 @@ type Stats struct {
 	// Barriers is the number of team barriers executed (per worker
 	// arrival; a single barrier of an n-thread team counts n).
 	Barriers int64
+	// DepEdges is the number of dependence edges resolved at task
+	// creation (predecessors found through In/Out/InOut clauses,
+	// whether or not the predecessor was still running).
+	DepEdges int64
+	// TasksDepDeferred is the number of tasks held back at creation
+	// because at least one predecessor had not finished.
+	TasksDepDeferred int64
+	// DepReleases is the number of held tasks enqueued by the
+	// completion of their last unfinished predecessor.
+	DepReleases int64
+	// FutureWaits is the number of Future.Wait operations that had to
+	// block (the producing task was not yet done).
+	FutureWaits int64
 	// CapturedBytes is the total captured-environment (firstprivate)
 	// bytes declared at task creation.
 	CapturedBytes int64
@@ -37,26 +50,38 @@ type Stats struct {
 func (s *Stats) TotalTasks() int64 { return s.TasksCreated + s.TasksUndeferred }
 
 func (s *Stats) String() string {
-	return fmt.Sprintf(
+	out := fmt.Sprintf(
 		"tasks=%d (undeferred %d, stolen %d) taskwaits=%d parks=%d barriers=%d captured=%dB work=%d",
 		s.TotalTasks(), s.TasksUndeferred, s.TasksStolen, s.Taskwaits,
 		s.TaskwaitParks, s.Barriers, s.CapturedBytes, s.WorkUnits)
+	if s.DepEdges > 0 || s.TasksDepDeferred > 0 {
+		out += fmt.Sprintf(" deps=%d (deferred %d, released %d)",
+			s.DepEdges, s.TasksDepDeferred, s.DepReleases)
+	}
+	if s.FutureWaits > 0 {
+		out += fmt.Sprintf(" futurewaits=%d", s.FutureWaits)
+	}
+	return out
 }
 
 // workerStats holds one worker's counters, padded to a cache line to
 // avoid false sharing between adjacent workers in the team slice.
 type workerStats struct {
-	tasksCreated    int64
-	tasksUndeferred int64
-	tasksStolen     int64
-	taskwaits       int64
-	taskwaitParks   int64
-	barriers        int64
-	capturedBytes   int64
-	workUnits       int64
-	privateWrites   int64
-	sharedWrites    int64
-	_               [48]byte // pad to a multiple of 64 bytes
+	tasksCreated     int64
+	tasksUndeferred  int64
+	tasksStolen      int64
+	taskwaits        int64
+	taskwaitParks    int64
+	barriers         int64
+	depEdges         int64
+	tasksDepDeferred int64
+	depReleases      int64
+	futureWaits      int64
+	capturedBytes    int64
+	workUnits        int64
+	privateWrites    int64
+	sharedWrites     int64
+	_                [16]byte // pad to a multiple of 64 bytes
 }
 
 func (tm *Team) aggregateStats() *Stats {
@@ -69,6 +94,10 @@ func (tm *Team) aggregateStats() *Stats {
 		s.Taskwaits += ws.taskwaits
 		s.TaskwaitParks += ws.taskwaitParks
 		s.Barriers += ws.barriers
+		s.DepEdges += ws.depEdges
+		s.TasksDepDeferred += ws.tasksDepDeferred
+		s.DepReleases += ws.depReleases
+		s.FutureWaits += ws.futureWaits
 		s.CapturedBytes += ws.capturedBytes
 		s.WorkUnits += ws.workUnits
 		s.PrivateWrites += ws.privateWrites

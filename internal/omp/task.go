@@ -15,9 +15,10 @@ type task struct {
 	team    *Team
 	creator *worker // worker that created (queued) the task; nil for implicit tasks
 
-	depth  int32
-	untied bool
-	final  bool
+	depth    int32
+	untied   bool
+	final    bool
+	priority int32
 
 	// pending counts outstanding (created, not yet finished) child
 	// tasks; taskwait blocks until it reaches zero.
@@ -33,6 +34,27 @@ type task struct {
 
 	// node is the trace-recording node, nil when tracing is off.
 	node *trace.Node
+
+	// Dependence state (see depend.go). hasDeps marks tasks that
+	// declared depend clauses — only they can appear in the parent's
+	// dependence table and acquire successors. depsLeft counts
+	// unfinished predecessors plus a creation guard; the task is
+	// enqueued when it reaches zero. depMu guards succs and depDone
+	// against concurrent predecessor completion.
+	hasDeps  bool
+	depsLeft atomic.Int32
+	depMu    sync.Mutex
+	depDone  bool
+	succs    []*task
+
+	// depTab is the dependence table for this task's *children*,
+	// lazily created on the first dependent child; touched only by
+	// the thread executing this task.
+	depTab *depTracker
+
+	// latch, when non-nil, is an external wakeup (a Future's) that
+	// completion and dependence release must signal.
+	latch *latch
 }
 
 // TaskOpt configures a single task creation.
@@ -43,6 +65,9 @@ type taskConfig struct {
 	ifClause bool
 	final    bool
 	captured int
+	priority int32
+	deps     []dep
+	latch    *latch
 }
 
 // Untied marks the task untied: at scheduling points, a thread
@@ -79,27 +104,37 @@ func (t *task) isDescendantOf(anc *task) bool {
 	return false
 }
 
-// finish performs completion bookkeeping for t: decrement the team's
-// live-task count, the enclosing taskgroup's live count, and the
-// parent's pending count, waking a parked taskwait if this was the
-// last outstanding child.
-func (t *task) finish() {
+// finish performs completion bookkeeping for t on worker w: release
+// dependent successor tasks, decrement the team's live-task count,
+// the enclosing taskgroup's live count, and the parent's pending
+// count, waking a parked taskwait if this was the last outstanding
+// child.
+func (t *task) finish(w *worker) {
+	t.releaseSuccessors(w)
 	if p := t.parent; p != nil {
 		if p.pending.Add(-1) == 0 {
-			p.mu.Lock()
-			if p.wake != nil {
-				select {
-				case p.wake <- struct{}{}:
-				default:
-				}
-			}
-			p.mu.Unlock()
+			p.signalWake()
 		}
 	}
 	if t.group != nil {
 		t.group.leave()
 	}
 	t.team.liveTasks.Add(-1)
+}
+
+// signalWake delivers one wakeup token to a taskwait parked in t.
+// The send is made race-free against park's check-then-sleep by
+// taking t.mu, which park holds around the re-check and channel
+// installation.
+func (t *task) signalWake() {
+	t.mu.Lock()
+	if t.wake != nil {
+		select {
+		case t.wake <- struct{}{}:
+		default:
+		}
+	}
+	t.mu.Unlock()
 }
 
 // park blocks until a child-completion signal arrives or the task's

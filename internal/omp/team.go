@@ -55,6 +55,7 @@ type Team struct {
 	wsMu      sync.Mutex
 	wsSingles map[int64]bool
 	wsLoops   map[int64]*loopState
+	wsReduces map[int64]bool
 
 	// panicVal holds the first panic raised by a task or region body;
 	// Parallel re-raises it after the region completes.
@@ -86,10 +87,12 @@ type worker struct {
 	id   int
 	team *Team
 	dq   *deque
-	cur  *task // task currently executing on this worker
+	pq   *prioQueue // ready tasks with non-zero priority
+	cur  *task      // task currently executing on this worker
 
 	singleIdx int64 // private counter of single constructs encountered
 	loopIdx   int64 // private counter of loop constructs encountered
+	reduceIdx int64 // private counter of Reduce constructs encountered
 
 	rng   uint64 // victim-selection PRNG state
 	stats workerStats
@@ -116,11 +119,12 @@ func Parallel(n int, body func(*Context), opts ...TeamOpt) *Stats {
 		rec:       cfg.rec,
 		wsSingles: make(map[int64]bool),
 		wsLoops:   make(map[int64]*loopState),
+		wsReduces: make(map[int64]bool),
 	}
 	tm.workers = make([]*worker, n)
 	implicit := make([]*task, n)
 	for i := 0; i < n; i++ {
-		tm.workers[i] = &worker{id: i, team: tm, dq: newDeque(), rng: uint64(i)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d}
+		tm.workers[i] = &worker{id: i, team: tm, dq: newDeque(), pq: &prioQueue{}, rng: uint64(i)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d}
 		it := &task{team: tm, untied: false}
 		if tm.rec != nil {
 			it.node = tm.rec.Root()
@@ -197,6 +201,16 @@ func idlePause(n int) {
 // task), only descendants of that task may run on this thread. It
 // returns true if a task was executed.
 func (w *worker) runOne(constraint *task) bool {
+	var pred func(*task) bool
+	if constraint != nil {
+		pred = func(c *task) bool { return c.isDescendantOf(constraint) }
+	}
+	// 0. Own priority queue: prioritized tasks run before anything in
+	// the regular deque.
+	if t := w.pq.take(pred); t != nil {
+		w.execute(t, t.parent != nil && t.creator != w)
+		return true
+	}
 	// 1. Own deque. A constrained (tied) waiter must use the LIFO
 	// bottom end regardless of policy: its own unstarted children are
 	// always the most recent pushes, so this is the only end where
@@ -218,20 +232,21 @@ func (w *worker) runOne(constraint *task) bool {
 		w.execute(t, t.parent != nil && t.creator != w)
 		return true
 	}
-	// 2. Steal from a random victim, then sweep the rest.
+	// 2. Steal from a random victim, then sweep the rest; victims'
+	// priority queues are raided before their deques.
 	n := len(w.team.workers)
 	if n == 1 {
 		return false
-	}
-	var pred func(*task) bool
-	if constraint != nil {
-		pred = func(c *task) bool { return c.isDescendantOf(constraint) }
 	}
 	start := int(w.nextRand() % uint64(n))
 	for i := 0; i < n; i++ {
 		v := w.team.workers[(start+i)%n]
 		if v == w {
 			continue
+		}
+		if t := v.pq.take(pred); t != nil {
+			w.execute(t, true)
+			return true
 		}
 		if t := v.dq.stealIf(pred); t != nil {
 			w.execute(t, true)
@@ -257,7 +272,7 @@ func (w *worker) execute(t *task, stolen bool) {
 		if r := recover(); r != nil {
 			w.team.recordPanic(r)
 		}
-		t.finish()
+		t.finish(w)
 		w.cur = prev
 	}()
 	t.body(&Context{w: w, task: t})

@@ -4,8 +4,12 @@
 // virtual threads, reproducing the scheduling semantics of the omp
 // runtime — per-worker deques, random-victim stealing, the OpenMP
 // task scheduling constraint for tied tasks, undeferred (inline)
-// tasks — together with a cost model for task-management overheads
-// and shared memory bandwidth.
+// tasks, dependence-deferred tasks (trace Deps edges hold a spawned
+// task back until its predecessors complete) — together with a cost
+// model for task-management overheads and shared memory bandwidth.
+// Task priorities are replayed as ordinary tasks: priority is a
+// scheduling hint that changes pick order, not the dependence
+// structure, and the simulator's deques keep creation order.
 //
 // This is the substitution (see DESIGN.md) for the paper's 32-CPU
 // Altix testbed: on a host with one core, wall-clock speedup curves
@@ -161,11 +165,20 @@ type sim struct {
 	pending   []int32
 	waiterOf  []int32
 	liveTasks int
-	now       float64
-	steals    int64
-	parks     int64
-	switches  int64
-	idleNS    float64
+
+	// Dependence state: depsLeft[i] counts unfinished predecessors of
+	// task i (from trace Deps edges), succs[i] lists its successors,
+	// and depWaiting[i] marks a spawned task held back until its last
+	// predecessor completes — mirroring the runtime's
+	// deferred-on-dependence state.
+	depsLeft   []int32
+	succs      [][]int32
+	depWaiting []bool
+	now        float64
+	steals     int64
+	parks      int64
+	switches   int64
+	idleNS     float64
 
 	// Thread-switching state (Params.ThreadSwitch): suspended untied
 	// continuations detached from worker stacks, and the subset whose
@@ -207,13 +220,22 @@ func Run(tr *trace.Trace, threads int, p Params) (Result, error) {
 		p.WorkUnitNS = 1
 	}
 	s := &sim{
-		tr:       tr,
-		p:        p,
-		pending:  make([]int32, len(tr.Tasks)),
-		waiterOf: make([]int32, len(tr.Tasks)),
+		tr:         tr,
+		p:          p,
+		pending:    make([]int32, len(tr.Tasks)),
+		waiterOf:   make([]int32, len(tr.Tasks)),
+		depsLeft:   make([]int32, len(tr.Tasks)),
+		succs:      make([][]int32, len(tr.Tasks)),
+		depWaiting: make([]bool, len(tr.Tasks)),
 	}
 	for i := range s.waiterOf {
 		s.waiterOf[i] = -1
+	}
+	for i := range tr.Tasks {
+		for _, d := range tr.Tasks[i].Deps {
+			s.depsLeft[i]++
+			s.succs[d] = append(s.succs[d], int32(i))
+		}
 	}
 	s.workers = make([]*vworker, threads)
 	for i := 0; i < threads; i++ {
@@ -314,7 +336,7 @@ func (s *sim) run() error {
 			}
 		}
 		if active == 0 {
-			var queued int
+			var queued, depWaiting int
 			blocked := 0
 			for _, w := range s.workers {
 				queued += len(w.dq)
@@ -322,8 +344,13 @@ func (s *sim) run() error {
 					blocked++
 				}
 			}
-			return fmt.Errorf("sim: deadlock at t=%.0fns: %d tasks outstanding (queued %d, suspended %d, readyCont %d, blocked workers %d)",
-				s.now, s.liveTasks, queued, len(s.suspended), len(s.readyCont), blocked)
+			for _, held := range s.depWaiting {
+				if held {
+					depWaiting++
+				}
+			}
+			return fmt.Errorf("sim: deadlock at t=%.0fns: %d tasks outstanding (queued %d, dep-waiting %d, suspended %d, readyCont %d, blocked workers %d)",
+				s.now, s.liveTasks, queued, depWaiting, len(s.suspended), len(s.readyCont), blocked)
 		}
 		factor := s.slowFactor(active)
 		dt := math.Inf(1)
@@ -420,7 +447,14 @@ func (s *sim) segmentDone(w *vworker) {
 		switch ev.Kind {
 		case trace.EvSpawn:
 			s.pending[f.id]++
-			w.dq = append(w.dq, ev.Child) // push bottom
+			if s.depsLeft[ev.Child] > 0 {
+				// Deferred on dependences: counted in pending but not
+				// enqueued; the last predecessor's completion will
+				// push it (see completeTask).
+				s.depWaiting[ev.Child] = true
+			} else {
+				w.dq = append(w.dq, ev.Child) // push bottom
+			}
 			f.remaining = s.p.SpawnNS + s.queueAcquire()
 			f.memBound = false
 		case trace.EvSpawnInline:
@@ -577,6 +611,35 @@ func (s *sim) findWork(w *vworker, constraint int32) bool {
 	return false
 }
 
+// releaseDeps performs the dependence side of task completion: every
+// successor whose last unfinished predecessor was id is enqueued on
+// the completing worker's deque (as in the runtime), and a blocked
+// waiter that may now run or steal it is woken — without the wake, a
+// released task could sit in the deque of a worker that parks while
+// every thread able to execute it is already blocked.
+func (s *sim) releaseDeps(w *vworker, id int32) {
+	for _, succ := range s.succs[id] {
+		s.depsLeft[succ]--
+		if s.depsLeft[succ] > 0 || !s.depWaiting[succ] {
+			continue
+		}
+		s.depWaiting[succ] = false
+		w.dq = append(w.dq, succ)
+		for _, bw := range s.workers {
+			if bw.state != wBlocked {
+				continue
+			}
+			waitID := bw.stack[len(bw.stack)-1].id
+			if s.tr.Tasks[waitID].Untied || s.isDescendant(succ, waitID) {
+				s.waiterOf[waitID] = -1
+				bw.state = wRunning
+				s.segmentDone(bw)
+				break
+			}
+		}
+	}
+}
+
 // tryAcquire lets an idle worker look for work: first a ready
 // (detached) untied continuation, then any ready task; zero-length
 // segments settle immediately.
@@ -601,6 +664,7 @@ func (s *sim) completeTask(w *vworker, id int32) {
 	if s.p.OnComplete != nil {
 		s.p.OnComplete(id, w.id, s.now)
 	}
+	s.releaseDeps(w, id)
 	parent := s.tr.Tasks[id].Parent
 	if parent < 0 {
 		return

@@ -1,0 +1,157 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// buildDepTrace records a diamond with priorities through the public
+// Recorder API, as the runtime would: root spawns A (writer), B and C
+// (readers of A), and D (writer depending on both readers).
+func buildDepTrace(t *testing.T) *Trace {
+	t.Helper()
+	r := NewRecorder()
+	root := r.Root()
+	root.AddWork(4)
+	a := r.Spawn(root, false, false, 16)
+	a.AddWork(10)
+	a.SetPriority(2)
+	b := r.Spawn(root, false, false, 16)
+	b.AddWork(5)
+	b.DependsOn(a)
+	c := r.Spawn(root, true, false, 16)
+	c.AddWork(5)
+	c.DependsOn(a)
+	d := r.Spawn(root, false, false, 16)
+	d.AddWork(7)
+	d.DependsOn(b)
+	d.DependsOn(c)
+	d.DependsOn(b) // duplicate: must collapse
+	tr := r.Finish()
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("built trace invalid: %v", err)
+	}
+	return tr
+}
+
+func TestDepEdgesRecorded(t *testing.T) {
+	tr := buildDepTrace(t)
+	if got := tr.Tasks[1].Priority; got != 2 {
+		t.Errorf("task A priority = %d, want 2", got)
+	}
+	if got := tr.Tasks[2].Deps; !reflect.DeepEqual(got, []int32{1}) {
+		t.Errorf("task B deps = %v, want [1]", got)
+	}
+	if got := tr.Tasks[4].Deps; !reflect.DeepEqual(got, []int32{2, 3}) {
+		t.Errorf("task D deps = %v, want [2 3] (duplicate collapsed)", got)
+	}
+}
+
+// TestDepRoundTrip is the io-format check: dependence edges and
+// priorities must survive WriteTo → ReadTrace byte-for-byte.
+func TestDepRoundTrip(t *testing.T) {
+	tr := buildDepTrace(t)
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	wrote := append([]byte(nil), buf.Bytes()...)
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if got.NumRoots != tr.NumRoots {
+		t.Errorf("NumRoots = %d, want %d", got.NumRoots, tr.NumRoots)
+	}
+	if got.Tasks[1].Priority != 2 {
+		t.Errorf("loaded priority = %d, want 2", got.Tasks[1].Priority)
+	}
+	if !reflect.DeepEqual(got.Tasks[4].Deps, []int32{2, 3}) {
+		t.Errorf("loaded deps = %v, want [2 3]", got.Tasks[4].Deps)
+	}
+	// Byte-level idempotence: re-serializing the loaded trace must
+	// reproduce the original stream exactly.
+	var buf2 bytes.Buffer
+	if _, err := got.WriteTo(&buf2); err != nil {
+		t.Fatalf("re-WriteTo: %v", err)
+	}
+	if !bytes.Equal(wrote, buf2.Bytes()) {
+		t.Error("round-trip is not byte-idempotent")
+	}
+}
+
+// TestReadV1Trace checks backward compatibility: a trace serialized
+// in the BOTR1 layout (no priority/dep fields) still loads.
+func TestReadV1Trace(t *testing.T) {
+	r := NewRecorder()
+	root := r.Root()
+	root.AddWork(3)
+	a := r.Spawn(root, false, false, 0)
+	a.AddWork(9)
+	tr := r.Finish()
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	// Rewrite the v2 payload as v1 by stripping the per-task priority
+	// and dep-count varints (both zero here, single bytes).
+	v2 := buf.Bytes()
+	if string(v2[:5]) != "BOTR2" {
+		t.Fatalf("unexpected magic %q", v2[:5])
+	}
+	var v1 bytes.Buffer
+	v1.WriteString("BOTR1")
+	// Payload layout per task: parent, flags, depth, work, pw, sw,
+	// captured, priority, numDeps, numEvents, events... All fields in
+	// this tiny trace are single-byte varints, so walk and drop
+	// bytes 7 and 8 of each task record.
+	p := v2[5:]
+	v1.Write(p[:2]) // numRoots, numTasks
+	p = p[2:]
+	for task := 0; task < 2; task++ {
+		v1.Write(p[:7]) // parent..captured
+		p = p[7:]
+		p = p[2:] // drop priority, numDeps
+		nev := p[0]
+		v1.Write(p[:1])
+		p = p[1:]
+		for e := 0; e < int(nev); e++ {
+			kind := p[0]
+			n := 2
+			if kind == byte(EvSpawn) || kind == byte(EvSpawnInline) {
+				n = 3
+			}
+			v1.Write(p[:n])
+			p = p[n:]
+		}
+	}
+	got, err := ReadTrace(&v1)
+	if err != nil {
+		t.Fatalf("ReadTrace(v1): %v", err)
+	}
+	if got.Tasks[1].Work != 9 || got.Tasks[1].Deps != nil || got.Tasks[1].Priority != 0 {
+		t.Errorf("v1 trace loaded wrong: %+v", got.Tasks[1])
+	}
+}
+
+// TestValidateRejectsBadDeps checks the dep invariants.
+func TestValidateRejectsBadDeps(t *testing.T) {
+	tr := buildDepTrace(t)
+	tr.Tasks[2].Deps = []int32{4} // forward edge: pred created later
+	if err := tr.Validate(); err == nil {
+		t.Error("Validate accepted a forward dependence edge")
+	}
+	tr = buildDepTrace(t)
+	tr.Tasks[2].Deps = []int32{99}
+	if err := tr.Validate(); err == nil {
+		t.Error("Validate accepted an out-of-range dependence")
+	}
+	tr = buildDepTrace(t)
+	// Cross-parent edge: rewrite D's dep list to point at a task that
+	// is not a sibling (the root's parent differs from D's).
+	tr.Tasks[4].Deps = []int32{0}
+	if err := tr.Validate(); err == nil {
+		t.Error("Validate accepted a cross-parent dependence")
+	}
+}

@@ -7,19 +7,30 @@ import (
 	"io"
 )
 
-// Binary trace format ("BOTR1"): a compact varint encoding so that
+// Binary trace format ("BOTR2"): a compact varint encoding so that
 // multi-hundred-thousand-task graphs recorded by cmd/botstrace stay
 // small on disk and load fast. All integers are unsigned varints
 // (zig-zag for the few signed fields); layout:
 //
-//	magic "BOTR1"
+//	magic "BOTR2"
 //	numRoots, numTasks
 //	per task: parent+1, flags (untied|inline), depth, work,
-//	          privateWrites, sharedWrites, captured, numEvents,
-//	          then per event: kind, deltaAt (from previous event),
-//	          child+1 (spawn kinds only)
+//	          privateWrites, sharedWrites, captured,
+//	          priority (zig-zag), numDeps, then per dep: pred ID,
+//	          numEvents, then per event: kind, deltaAt (from the
+//	          previous event), child+1 (spawn kinds only)
+//
+// Version 1 ("BOTR1") lacked the priority and dependence fields;
+// ReadTrace still accepts it (tasks load with no deps, priority 0).
 
-const magic = "BOTR1"
+const (
+	magic   = "BOTR2"
+	magicV1 = "BOTR1"
+)
+
+// zigzag encoding for the signed priority field.
+func zig(v int64) uint64 { return uint64((v << 1) ^ (v >> 63)) }
+func zag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
 
 // WriteTo serializes the trace in the binary format. It returns the
 // number of bytes written.
@@ -62,11 +73,19 @@ func (tr *Trace) WriteTo(w io.Writer) (int64, error) {
 		for _, v := range []uint64{
 			uint64(t.Depth), uint64(t.Work),
 			uint64(t.PrivateWrites), uint64(t.SharedWrites),
-			uint64(t.Captured), uint64(len(t.Events)),
+			uint64(t.Captured), zig(int64(t.Priority)), uint64(len(t.Deps)),
 		} {
 			if err := put(v); err != nil {
 				return n, err
 			}
+		}
+		for _, d := range t.Deps {
+			if err := put(uint64(d)); err != nil {
+				return n, err
+			}
+		}
+		if err := put(uint64(len(t.Events))); err != nil {
+			return n, err
 		}
 		prev := int64(0)
 		for _, e := range t.Events {
@@ -94,8 +113,13 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 	if _, err := io.ReadFull(br, head); err != nil {
 		return nil, fmt.Errorf("trace: reading header: %w", err)
 	}
-	if string(head) != magic {
-		return nil, fmt.Errorf("trace: bad magic %q (want %q)", head, magic)
+	version := 2
+	switch string(head) {
+	case magic:
+	case magicV1:
+		version = 1
+	default:
+		return nil, fmt.Errorf("trace: bad magic %q (want %q or %q)", head, magic, magicV1)
 	}
 	get := func() (uint64, error) { return binary.ReadUvarint(br) }
 	numRoots, err := get()
@@ -143,6 +167,30 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 			return nil, err
 		}
 		t.Captured = int32(captured)
+		if version >= 2 {
+			prio, err := get()
+			if err != nil {
+				return nil, err
+			}
+			t.Priority = int32(zag(prio))
+			numDeps, err := get()
+			if err != nil {
+				return nil, err
+			}
+			if numDeps > maxTasks {
+				return nil, fmt.Errorf("trace: task %d has implausible dep count %d", i, numDeps)
+			}
+			if numDeps > 0 {
+				t.Deps = make([]int32, numDeps)
+				for j := range t.Deps {
+					d, err := get()
+					if err != nil {
+						return nil, err
+					}
+					t.Deps[j] = int32(d)
+				}
+			}
+		}
 		numEvents, err := get()
 		if err != nil {
 			return nil, err

@@ -88,6 +88,25 @@ func (n *Node) AddWrites(private, shared int64) {
 	n.task.SharedWrites += shared
 }
 
+// DependsOn records a dependence edge: the task may not start before
+// pred has completed. Like all creation-side recording it is called
+// by the thread executing the parent task, before the child is
+// enqueued. Duplicate edges (two clauses resolving to the same
+// predecessor) are collapsed.
+func (n *Node) DependsOn(pred *Node) {
+	for _, d := range n.task.Deps {
+		if d == pred.task.ID {
+			return
+		}
+	}
+	n.task.Deps = append(n.task.Deps, pred.task.ID)
+}
+
+// SetPriority records the task's scheduling priority.
+func (n *Node) SetPriority(p int32) {
+	n.task.Priority = p
+}
+
 // Taskwait records a taskwait event on the task.
 func (n *Node) Taskwait() {
 	n.task.Events = append(n.task.Events, Event{

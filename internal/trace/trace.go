@@ -80,6 +80,14 @@ type Task struct {
 	// Captured is the number of bytes of captured environment
 	// (firstprivate data) copied into the task at creation.
 	Captured int32
+	// Priority is the task's scheduling priority (0 = default).
+	Priority int32
+	// Deps lists the IDs of the sibling tasks this task depends on
+	// (its dependence predecessors, resolved from In/Out/InOut
+	// clauses at creation). The task may not start before every
+	// listed task has completed. Predecessors always share this
+	// task's parent and have smaller IDs (they were created earlier).
+	Deps []int32
 	// Events is the ordered list of scheduling events.
 	Events []Event
 }
@@ -133,14 +141,21 @@ func (tr *Trace) NumTaskwaits() int64 {
 }
 
 // CriticalPath returns the length, in work units, of the longest
-// dependence chain in the trace: the minimum possible makespan on
-// infinitely many threads with zero overheads.
+// chain of spawn/taskwait constraints in the trace: the minimum
+// possible makespan on infinitely many threads with zero overheads.
 //
 // Two completion notions matter (and differ, per OpenMP semantics):
 // a taskwait joins only on the *own* completion of direct children —
 // a child may finish with its own unawaited descendants still running
 // — while the region (and hence the critical path) is bounded by the
 // *subtree* completion of every task.
+//
+// Dependence edges (Task.Deps) are not folded into the chain: they
+// only add ordering constraints, so for dep-driven traces the value
+// is a lower bound on the true critical path (and Work/CriticalPath
+// an upper bound on available parallelism). The simulator, which
+// replays dependences exactly, is the reference for dep-driven
+// makespans.
 func (tr *Trace) CriticalPath() int64 {
 	type span struct {
 		own  int64 // task start → its own completion
@@ -207,8 +222,9 @@ func (tr *Trace) CriticalPath() int64 {
 }
 
 // Validate checks structural invariants of the trace: parents precede
-// children, event offsets are monotonic and within task work, and
-// every non-root task is referenced by exactly one spawn event.
+// children, event offsets are monotonic and within task work, every
+// non-root task is referenced by exactly one spawn event, and
+// dependence predecessors are earlier-created siblings.
 func (tr *Trace) Validate() error {
 	referenced := make([]int32, len(tr.Tasks))
 	for i := range tr.Tasks {
@@ -243,6 +259,18 @@ func (tr *Trace) Validate() error {
 		}
 		if last > t.Work {
 			return fmt.Errorf("trace: task %d has event offset %d beyond its work %d", i, last, t.Work)
+		}
+		for _, d := range t.Deps {
+			if d < 0 || int(d) >= len(tr.Tasks) {
+				return fmt.Errorf("trace: task %d depends on out-of-range task %d", i, d)
+			}
+			if d >= t.ID {
+				return fmt.Errorf("trace: task %d depends on task %d, which was not created before it", i, d)
+			}
+			if tr.Tasks[d].Parent != t.Parent {
+				return fmt.Errorf("trace: task %d depends on task %d with a different parent (%d vs %d)",
+					i, d, tr.Tasks[d].Parent, t.Parent)
+			}
 		}
 	}
 	for i := tr.NumRoots; i < len(tr.Tasks); i++ {
