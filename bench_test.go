@@ -16,11 +16,17 @@ import (
 
 	_ "bots/internal/apps/all"
 	"bots/internal/core"
+	"bots/internal/lab"
 	"bots/internal/omp"
 	"bots/internal/report"
 	"bots/internal/sim"
 	"bots/internal/trace"
 )
+
+// benchRunner executes every report cell directly (no store), so each
+// benchmark iteration measures the real record-and-simulate pipeline;
+// only sequential baselines are cached, as before the lab existed.
+var benchRunner = lab.NewDirectRunner()
 
 // benchThreads is a reduced thread axis that keeps bench iterations
 // fast while still spanning the scaling range.
@@ -38,7 +44,7 @@ func BenchmarkTable1Metadata(b *testing.B) {
 // characteristics (paper Table II) on the test class.
 func BenchmarkTable2Profile(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if err := report.Table2(io.Discard, core.Test); err != nil {
+		if err := report.Table2(benchRunner, io.Discard, core.Test); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -48,7 +54,7 @@ func BenchmarkTable2Profile(b *testing.B) {
 // study (paper Figure 3) on the small class.
 func BenchmarkFig3Speedups(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if err := report.Fig3(io.Discard, core.Small, benchThreads); err != nil {
+		if err := report.Fig3(benchRunner, io.Discard, core.Small, benchThreads); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -58,7 +64,7 @@ func BenchmarkFig3Speedups(b *testing.B) {
 // comparison (paper Figure 4).
 func BenchmarkFig4Cutoffs(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if err := report.Fig4(io.Discard, core.Small, benchThreads); err != nil {
+		if err := report.Fig4(benchRunner, io.Discard, core.Small, benchThreads); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -68,7 +74,7 @@ func BenchmarkFig4Cutoffs(b *testing.B) {
 // (paper Figure 5).
 func BenchmarkFig5Tiedness(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if err := report.Fig5(io.Discard, core.Small, benchThreads); err != nil {
+		if err := report.Fig5(benchRunner, io.Discard, core.Small, benchThreads); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -77,7 +83,7 @@ func BenchmarkFig5Tiedness(b *testing.B) {
 // BenchmarkTableAnalysis regenerates the work/span analysis table.
 func BenchmarkTableAnalysis(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if err := report.TableAnalysis(io.Discard, core.Test); err != nil {
+		if err := report.TableAnalysis(benchRunner, io.Discard, core.Test); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -87,7 +93,7 @@ func BenchmarkTableAnalysis(b *testing.B) {
 // (UTS and Knapsack, the suite additions the paper's §V announces).
 func BenchmarkExtensions(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if err := report.FigExtensions(io.Discard, core.Test, benchThreads); err != nil {
+		if err := report.FigExtensions(benchRunner, io.Discard, core.Test, benchThreads); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -96,7 +102,7 @@ func BenchmarkExtensions(b *testing.B) {
 // BenchmarkAblationCutoffDepth sweeps the depth cut-off value (§IV-D).
 func BenchmarkAblationCutoffDepth(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if err := report.AblationCutoffDepth(io.Discard, core.Small, 8, []int{4, 8, 12}); err != nil {
+		if err := report.AblationCutoffDepth(benchRunner, io.Discard, core.Small, 8, []int{4, 8, 12}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -105,7 +111,7 @@ func BenchmarkAblationCutoffDepth(b *testing.B) {
 // BenchmarkAblationPolicy compares local scheduling policies (§IV-D).
 func BenchmarkAblationPolicy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if err := report.AblationPolicy(io.Discard, core.Test, benchThreads); err != nil {
+		if err := report.AblationPolicy(benchRunner, io.Discard, core.Test, benchThreads); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -115,7 +121,7 @@ func BenchmarkAblationPolicy(b *testing.B) {
 // counterfactual.
 func BenchmarkAblationThreadSwitch(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if err := report.AblationThreadSwitch(io.Discard, core.Test, benchThreads); err != nil {
+		if err := report.AblationThreadSwitch(benchRunner, io.Discard, core.Test, benchThreads); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -125,7 +131,7 @@ func BenchmarkAblationThreadSwitch(b *testing.B) {
 // serialized central task queue.
 func BenchmarkAblationQueueArch(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if err := report.AblationQueueArch(io.Discard, core.Test, benchThreads); err != nil {
+		if err := report.AblationQueueArch(benchRunner, io.Discard, core.Test, benchThreads); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -135,7 +141,7 @@ func BenchmarkAblationQueueArch(b *testing.B) {
 // (§IV-D).
 func BenchmarkAblationGenerators(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if err := report.AblationGenerators(io.Discard, core.Test, benchThreads); err != nil {
+		if err := report.AblationGenerators(benchRunner, io.Discard, core.Test, benchThreads); err != nil {
 			b.Fatal(err)
 		}
 	}

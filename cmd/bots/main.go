@@ -14,6 +14,8 @@
 //	bots -bench sparselu -version for-tied -simulate 32
 //	bots -bench sparselu -version dep-tied -class medium
 //	bots -bench strassen -version future-untied -threads 8
+//	bots -bench fib -class test -json            # machine-readable lab Record
+//	bots -bench fib -json -store bots-lab.jsonl  # ...persisted/cached in the store
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 
 	_ "bots/internal/apps/all"
 	"bots/internal/core"
+	"bots/internal/lab"
 	"bots/internal/omp"
 	"bots/internal/sim"
 	"bots/internal/trace"
@@ -41,6 +44,8 @@ func main() {
 		policy    = flag.String("policy", "workfirst", "local scheduling policy: workfirst/breadthfirst")
 		verify    = flag.Bool("verify", true, "run the sequential reference and verify the parallel result")
 		simulate  = flag.Int("simulate", 0, "also record a task graph and simulate this many virtual threads (0 = off)")
+		jsonOut   = flag.Bool("json", false, "run the full lab pipeline (seq reference + verify + simulate; -simulate 0 means the recording team size) and emit the machine-readable lab Record instead of text")
+		storePath = flag.String("store", "", "with -json: persist the record in (and answer cache hits from) this lab store")
 	)
 	flag.Parse()
 
@@ -66,6 +71,43 @@ func main() {
 		fatal(fmt.Errorf("benchmark %q has no version %q (have %s)",
 			b.Name, v, strings.Join(b.Versions, ", ")))
 	}
+
+	if *jsonOut {
+		// The -json path runs the cell through the lab pipeline so
+		// one-off runs and sweep results share one Record schema. The
+		// pipeline always runs the sequential reference (it calibrates
+		// the simulator) and always simulates; flags that would skip
+		// those stages in text mode do not apply here.
+		if !*verify {
+			fmt.Fprintln(os.Stderr, "bots: note: -json always runs the sequential reference and verification; -verify=false is ignored")
+		}
+		spec := lab.JobSpec{
+			Bench:         b.Name,
+			Version:       v,
+			Class:         class.String(),
+			Threads:       *threads,
+			CutoffDepth:   *cutoff,
+			RuntimeCutoff: *rtCutoff,
+			Policy:        *policy,
+			Simulate:      *simulate,
+		}
+		var runner lab.Runner = lab.NewDirectRunner()
+		if *storePath != "" {
+			store, err := lab.OpenStore(*storePath)
+			fatal(err)
+			defer store.Close()
+			runner = lab.NewCachedRunner(store, runner)
+		}
+		rec, err := runner.Run(spec)
+		fatal(err)
+		fatal(rec.WriteJSON(os.Stdout))
+		if !rec.Verified {
+			fmt.Fprintf(os.Stderr, "bots: verification failed: %s\n", rec.VerifyError)
+			os.Exit(1)
+		}
+		return
+	}
+
 	cfg := core.RunConfig{
 		Class:       class,
 		Version:     v,

@@ -1,0 +1,103 @@
+// Command botslab is the experiment-lab driver: it expands
+// declarative sweep manifests over the suite's configuration axes,
+// runs the cells on a bounded worker pool with a persistent
+// content-addressed result store, and serves the whole thing over
+// HTTP (`bots serve`-style).
+//
+// One-shot sweep (CI smoke, batch measurement):
+//
+//	botslab -manifest examples/manifests/ci-smoke.json -store /tmp/lab.jsonl
+//
+// HTTP service:
+//
+//	botslab -serve :8080 -store bots-lab.jsonl
+//	curl -X POST localhost:8080/sweeps -d @examples/manifests/ci-smoke.json
+//	curl localhost:8080/sweeps/s1                 # status
+//	curl localhost:8080/sweeps/s1?follow=true     # NDJSON progress stream
+//	curl 'localhost:8080/results?bench=fib&threads=2'
+//	curl 'localhost:8080/report/fig4?class=test&threads=1,2,4'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+
+	_ "bots/internal/apps/all"
+	"bots/internal/lab"
+	"bots/internal/report"
+)
+
+func main() {
+	var (
+		storePath = flag.String("store", "bots-lab.jsonl", "lab result store (JSONL); empty = in-memory only")
+		manifest  = flag.String("manifest", "", "sweep manifest to run to completion before serving/exiting")
+		serve     = flag.String("serve", "", "address to serve the lab HTTP API on (e.g. :8080); empty = run the manifest and exit")
+		workers   = flag.Int("workers", runtime.NumCPU(), "dispatcher worker-pool size")
+		retries   = flag.Int("retries", 1, "per-job retries after a failure")
+		progress  = flag.Bool("progress", true, "print per-job progress lines for -manifest sweeps")
+	)
+	flag.Parse()
+	if *manifest == "" && *serve == "" {
+		fmt.Fprintln(os.Stderr, "botslab: nothing to do: pass -manifest and/or -serve; see -h")
+		os.Exit(2)
+	}
+
+	store, err := lab.OpenStore(*storePath)
+	fatal(err)
+	defer store.Close()
+	direct := lab.NewDirectRunner()
+	runner := lab.NewCachedRunner(store, direct)
+	disp := lab.NewDispatcher(runner, *workers, *retries)
+	defer disp.Close()
+
+	if *manifest != "" {
+		f, err := os.Open(*manifest)
+		fatal(err)
+		spec, err := lab.ReadSweepSpec(f)
+		f.Close()
+		fatal(err)
+		if *progress {
+			disp.OnProgress = func(ev lab.ProgressEvent) {
+				fmt.Fprintf(os.Stderr, "botslab: %s %-7s %s %s/%s class=%s threads=%d attempt=%d %s\n",
+					ev.SweepID, ev.Job.Status, ev.Job.Key, ev.Job.Spec.Bench, ev.Job.Spec.Version,
+					ev.Job.Spec.Class, ev.Job.Spec.Threads, ev.Job.Attempts, ev.Job.Error)
+			}
+		}
+		sw, err := disp.Submit(spec)
+		fatal(err)
+		st := sw.Wait()
+		fmt.Printf("sweep %s (%s): %d jobs, %d done, %d failed; %d cache hits, %d executions; store=%d records\n",
+			st.ID, st.Name, st.Total, st.Done, st.Failed, runner.Hits(), direct.Exec.Executions(), store.Len())
+		if st.Failed > 0 {
+			for _, j := range st.Jobs {
+				if j.Status == lab.JobFailed {
+					fmt.Fprintf(os.Stderr, "botslab: failed %s %s/%s: %s\n",
+						j.Key, j.Spec.Bench, j.Spec.Version, j.Error)
+				}
+			}
+			if *serve == "" {
+				os.Exit(1)
+			}
+		}
+	}
+
+	if *serve != "" {
+		server := &lab.Server{
+			Disp:   disp,
+			Store:  store,
+			Render: report.RenderFuncFor(runner),
+		}
+		fmt.Fprintf(os.Stderr, "botslab: serving on %s (store %s, %d records)\n", *serve, *storePath, store.Len())
+		fatal(http.ListenAndServe(*serve, server.Handler()))
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "botslab:", err)
+		os.Exit(1)
+	}
+}

@@ -6,86 +6,97 @@
 // §IV-D ablations (cut-off value sweep, scheduling policies,
 // generator schemes).
 //
+// Every experiment cell goes through the lab's cached runner: results
+// persist in a JSONL store (-store), so re-rendering a report
+// re-executes nothing that is already measured, and cells within a
+// figure run concurrently on first measurement.
+//
 //	botsreport                      # everything, medium class
 //	botsreport -class small -only fig3,fig4
+//	botsreport -store /tmp/lab.jsonl -threads 1,2,4,8
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	_ "bots/internal/apps/all"
 	"bots/internal/core"
+	"bots/internal/lab"
 	"bots/internal/report"
 )
 
 func main() {
 	var (
 		className = flag.String("class", "medium", "input class for all experiments")
-		only      = flag.String("only", "", "comma-separated subset: table1,table2,analysis,fig3,fig4,fig5,extensions,cutoffdepth,policy,threadswitch,queuearch,generators")
+		only      = flag.String("only", "", "comma-separated subset of: "+strings.Join(report.Artifacts(), ","))
 		threads   = flag.String("threads", "", "comma-separated thread axis (default 1,2,4,8,16,24,32)")
+		storePath = flag.String("store", "bots-lab.jsonl", "lab result store (JSONL); empty = in-memory only")
 	)
 	flag.Parse()
 
 	class, err := core.ParseClass(*className)
 	fatal(err)
-	axis := report.PaperThreads
+	var axis []int
 	if *threads != "" {
-		axis = nil
-		for _, part := range strings.Split(*threads, ",") {
-			var t int
-			_, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &t)
-			fatal(err)
-			axis = append(axis, t)
-		}
+		axis, err = parseThreadAxis(*threads)
+		fatal(err)
 	}
-	want := map[string]bool{}
-	if *only != "" {
+	var selected []string
+	if *only == "" {
+		selected = report.Artifacts()
+	} else {
+		known := map[string]bool{}
+		for _, a := range report.Artifacts() {
+			known[a] = true
+		}
 		for _, part := range strings.Split(*only, ",") {
-			want[strings.TrimSpace(part)] = true
+			name := strings.TrimSpace(part)
+			if !known[name] {
+				fatal(fmt.Errorf("unknown artifact %q (have %s)", name, strings.Join(report.Artifacts(), ",")))
+			}
+			selected = append(selected, name)
 		}
 	}
-	run := func(name string) bool { return len(want) == 0 || want[name] }
-	w := os.Stdout
 
-	if run("table1") {
-		report.Table1(w)
+	store, err := lab.OpenStore(*storePath)
+	fatal(err)
+	defer store.Close()
+	direct := lab.NewDirectRunner()
+	runner := lab.NewCachedRunner(store, direct)
+
+	for _, name := range selected {
+		fatal(report.Render(runner, os.Stdout, name, class, axis))
 	}
-	if run("table2") {
-		fatal(report.Table2(w, class))
+	fmt.Fprintf(os.Stderr, "botsreport: %d cache hits, %d executions (store %s, %d records)\n",
+		runner.Hits(), direct.Exec.Executions(), storeName(store), store.Len())
+}
+
+func storeName(s *lab.Store) string {
+	if s.Path() == "" {
+		return "in-memory"
 	}
-	if run("analysis") {
-		fatal(report.TableAnalysis(w, class))
+	return s.Path()
+}
+
+// parseThreadAxis parses a strictly positive comma-separated thread
+// list, rejecting trailing garbage ("4x") and non-positive counts.
+func parseThreadAxis(s string) ([]int, error) {
+	var axis []int
+	for _, part := range strings.Split(s, ",") {
+		t, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad -threads entry %q: %v", strings.TrimSpace(part), err)
+		}
+		if t < 1 {
+			return nil, fmt.Errorf("bad -threads entry %d: thread counts must be >= 1", t)
+		}
+		axis = append(axis, t)
 	}
-	if run("fig3") {
-		fatal(report.Fig3(w, class, axis))
-	}
-	if run("fig4") {
-		fatal(report.Fig4(w, class, axis))
-	}
-	if run("fig5") {
-		fatal(report.Fig5(w, class, axis))
-	}
-	if run("extensions") {
-		fatal(report.FigExtensions(w, class, axis))
-	}
-	if run("cutoffdepth") {
-		fatal(report.AblationCutoffDepth(w, class, 8, nil))
-	}
-	if run("policy") {
-		fatal(report.AblationPolicy(w, class, axis))
-	}
-	if run("threadswitch") {
-		fatal(report.AblationThreadSwitch(w, class, axis))
-	}
-	if run("queuearch") {
-		fatal(report.AblationQueueArch(w, class, axis))
-	}
-	if run("generators") {
-		fatal(report.AblationGenerators(w, class, axis))
-	}
+	return axis, nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,277 @@
+package lab
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// JobStatus is the lifecycle state of one job in a sweep.
+type JobStatus string
+
+const (
+	JobQueued  JobStatus = "queued"
+	JobRunning JobStatus = "running"
+	JobDone    JobStatus = "done"
+	JobFailed  JobStatus = "failed"
+)
+
+// JobView is the externally visible state of one job (what the
+// status API returns).
+type JobView struct {
+	Key      string    `json:"key"`
+	Spec     JobSpec   `json:"spec"`
+	Status   JobStatus `json:"status"`
+	Attempts int       `json:"attempts"`
+	Error    string    `json:"error,omitempty"`
+}
+
+// SweepStatus is a point-in-time snapshot of a sweep.
+type SweepStatus struct {
+	ID      string    `json:"id"`
+	Name    string    `json:"name,omitempty"`
+	Created time.Time `json:"created"`
+	Total   int       `json:"total"`
+	Queued  int       `json:"queued"`
+	Running int       `json:"running"`
+	Done    int       `json:"done"`
+	Failed  int       `json:"failed"`
+	Jobs    []JobView `json:"jobs"`
+}
+
+// Finished reports whether every job has reached a terminal state.
+func (s SweepStatus) Finished() bool { return s.Done+s.Failed == s.Total }
+
+// ProgressEvent is delivered to the dispatcher's progress callback on
+// every job state transition.
+type ProgressEvent struct {
+	SweepID string  `json:"sweep_id"`
+	Job     JobView `json:"job"`
+}
+
+type dispJob struct {
+	sweep *Sweep
+	idx   int
+}
+
+// Sweep is one submitted manifest expansion being worked through the
+// pool.
+type Sweep struct {
+	id      string
+	name    string
+	created time.Time
+
+	mu        sync.Mutex
+	jobs      []JobView
+	remaining int
+	done      chan struct{}
+}
+
+// ID returns the sweep's dispatcher-assigned identifier.
+func (s *Sweep) ID() string { return s.id }
+
+// Done returns a channel closed when every job has finished.
+func (s *Sweep) Done() <-chan struct{} { return s.done }
+
+// Wait blocks until the sweep finishes and returns its final status.
+func (s *Sweep) Wait() SweepStatus {
+	<-s.done
+	return s.Status()
+}
+
+// Status returns a snapshot of the sweep.
+func (s *Sweep) Status() SweepStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := SweepStatus{
+		ID:      s.id,
+		Name:    s.name,
+		Created: s.created,
+		Total:   len(s.jobs),
+		Jobs:    append([]JobView(nil), s.jobs...),
+	}
+	for _, j := range s.jobs {
+		switch j.Status {
+		case JobQueued:
+			st.Queued++
+		case JobRunning:
+			st.Running++
+		case JobDone:
+			st.Done++
+		case JobFailed:
+			st.Failed++
+		}
+	}
+	return st
+}
+
+// Dispatcher runs sweep jobs on a bounded worker pool with
+// per-job status, bounded retry on failure, and progress callbacks.
+type Dispatcher struct {
+	runner  Runner
+	retries int
+
+	// OnProgress, when non-nil, is called (from worker goroutines,
+	// without internal locks held) on every job state transition.
+	OnProgress func(ProgressEvent)
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []dispJob
+	sweeps map[string]*Sweep
+	order  []string
+	nextID int
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewDispatcher starts a pool of `workers` goroutines executing jobs
+// on runner. Each failed job is retried up to `retries` more times
+// before being marked failed.
+func NewDispatcher(runner Runner, workers, retries int) *Dispatcher {
+	if workers < 1 {
+		workers = 1
+	}
+	if retries < 0 {
+		retries = 0
+	}
+	d := &Dispatcher{runner: runner, retries: retries, sweeps: map[string]*Sweep{}}
+	d.cond = sync.NewCond(&d.mu)
+	d.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go d.worker()
+	}
+	return d
+}
+
+// Submit expands the manifest and enqueues every cell. It returns
+// the tracking Sweep immediately; jobs run in the background.
+func (d *Dispatcher) Submit(spec SweepSpec) (*Sweep, error) {
+	jobs, err := spec.Expand()
+	if err != nil {
+		return nil, err
+	}
+	return d.SubmitJobs(spec.Name, jobs)
+}
+
+// SubmitJobs enqueues an explicit job list as one sweep.
+func (d *Dispatcher) SubmitJobs(name string, jobs []JobSpec) (*Sweep, error) {
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("lab: sweep %q expands to zero jobs", name)
+	}
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil, fmt.Errorf("lab: dispatcher is closed")
+	}
+	d.nextID++
+	sw := &Sweep{
+		id:        fmt.Sprintf("s%d", d.nextID),
+		name:      name,
+		created:   time.Now().UTC(),
+		remaining: len(jobs),
+		done:      make(chan struct{}),
+	}
+	for _, j := range jobs {
+		j = j.Normalize()
+		sw.jobs = append(sw.jobs, JobView{Key: j.Key(), Spec: j, Status: JobQueued})
+	}
+	d.sweeps[sw.id] = sw
+	d.order = append(d.order, sw.id)
+	for i := range sw.jobs {
+		d.queue = append(d.queue, dispJob{sweep: sw, idx: i})
+	}
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	return sw, nil
+}
+
+// Sweep returns a submitted sweep by ID.
+func (d *Dispatcher) Sweep(id string) (*Sweep, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	sw, ok := d.sweeps[id]
+	return sw, ok
+}
+
+// Sweeps returns all sweeps in submission order.
+func (d *Dispatcher) Sweeps() []*Sweep {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]*Sweep, 0, len(d.order))
+	for _, id := range d.order {
+		out = append(out, d.sweeps[id])
+	}
+	return out
+}
+
+// Close stops accepting submissions, drains the remaining queue, and
+// waits for in-flight jobs to finish.
+func (d *Dispatcher) Close() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.closed = true
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	d.wg.Wait()
+}
+
+func (d *Dispatcher) worker() {
+	defer d.wg.Done()
+	for {
+		d.mu.Lock()
+		for len(d.queue) == 0 && !d.closed {
+			d.cond.Wait()
+		}
+		if len(d.queue) == 0 && d.closed {
+			d.mu.Unlock()
+			return
+		}
+		job := d.queue[0]
+		d.queue = d.queue[1:]
+		d.mu.Unlock()
+		d.runJob(job)
+	}
+}
+
+// setStatus transitions one job and reports the new view; callbacks
+// fire outside the sweep lock.
+func (d *Dispatcher) setStatus(j dispJob, status JobStatus, attempts int, errMsg string) {
+	sw := j.sweep
+	sw.mu.Lock()
+	v := &sw.jobs[j.idx]
+	v.Status = status
+	v.Attempts = attempts
+	v.Error = errMsg
+	view := *v
+	finished := false
+	if status == JobDone || status == JobFailed {
+		sw.remaining--
+		finished = sw.remaining == 0
+	}
+	sw.mu.Unlock()
+	if cb := d.OnProgress; cb != nil {
+		cb(ProgressEvent{SweepID: sw.id, Job: view})
+	}
+	if finished {
+		close(sw.done)
+	}
+}
+
+func (d *Dispatcher) runJob(j dispJob) {
+	spec := j.sweep.jobs[j.idx].Spec
+	var lastErr error
+	for attempt := 1; attempt <= d.retries+1; attempt++ {
+		d.setStatus(j, JobRunning, attempt, "")
+		_, err := d.runner.Run(spec)
+		if err == nil {
+			d.setStatus(j, JobDone, attempt, "")
+			return
+		}
+		lastErr = err
+	}
+	d.setStatus(j, JobFailed, d.retries+1, lastErr.Error())
+}

@@ -1,0 +1,158 @@
+package lab_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"bots/internal/lab"
+)
+
+func waitSweep(t *testing.T, sw *lab.Sweep) lab.SweepStatus {
+	t.Helper()
+	select {
+	case <-sw.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatalf("sweep %s did not finish: %+v", sw.ID(), sw.Status())
+	}
+	return sw.Status()
+}
+
+func TestDispatcherRunsSweep(t *testing.T) {
+	fake := &fakeRunner{}
+	d := lab.NewDispatcher(fake, 4, 0)
+	defer d.Close()
+	jobs := []lab.JobSpec{testSpec("fib", 1), testSpec("fib", 2), testSpec("fib", 4), testSpec("fib", 8)}
+	sw, err := d.SubmitJobs("quartet", jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitSweep(t, sw)
+	if !st.Finished() || st.Done != 4 || st.Failed != 0 {
+		t.Fatalf("final status = %+v", st)
+	}
+	for _, j := range st.Jobs {
+		if j.Status != lab.JobDone || j.Attempts != 1 || j.Key == "" {
+			t.Errorf("job %+v not cleanly done", j)
+		}
+	}
+	if fake.calls.Load() != 4 {
+		t.Fatalf("executed %d jobs, want 4", fake.calls.Load())
+	}
+}
+
+func TestDispatcherRetriesTransientFailure(t *testing.T) {
+	fake := &fakeRunner{}
+	fake.failN.Store(1) // first call fails, the retry succeeds
+	d := lab.NewDispatcher(fake, 1, 1)
+	defer d.Close()
+	sw, err := d.SubmitJobs("flaky", []lab.JobSpec{testSpec("fib", 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitSweep(t, sw)
+	if st.Done != 1 || st.Failed != 0 {
+		t.Fatalf("final status = %+v", st)
+	}
+	if got := st.Jobs[0].Attempts; got != 2 {
+		t.Fatalf("attempts = %d, want 2 (one failure + one retry)", got)
+	}
+}
+
+func TestDispatcherMarksExhaustedJobFailed(t *testing.T) {
+	fake := &fakeRunner{}
+	fake.failN.Store(1 << 30) // never succeeds
+	d := lab.NewDispatcher(fake, 2, 2)
+	defer d.Close()
+	sw, err := d.SubmitJobs("doomed", []lab.JobSpec{testSpec("fib", 1), testSpec("fib", 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitSweep(t, sw)
+	if st.Failed != 2 || st.Done != 0 {
+		t.Fatalf("final status = %+v", st)
+	}
+	for _, j := range st.Jobs {
+		if j.Status != lab.JobFailed || j.Attempts != 3 {
+			t.Errorf("job = %+v, want failed after 3 attempts", j)
+		}
+		if j.Error == "" {
+			t.Error("failed job carries no error message")
+		}
+	}
+}
+
+func TestDispatcherProgressCallbacks(t *testing.T) {
+	fake := &fakeRunner{}
+	d := lab.NewDispatcher(fake, 1, 0)
+	defer d.Close()
+	var mu sync.Mutex
+	var events []lab.ProgressEvent
+	d.OnProgress = func(ev lab.ProgressEvent) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	}
+	sw, err := d.SubmitJobs("observed", []lab.JobSpec{testSpec("fib", 1), testSpec("fib", 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitSweep(t, sw)
+	mu.Lock()
+	defer mu.Unlock()
+	// Each job transitions queued→running→done: 2 events per job.
+	if len(events) != 4 {
+		t.Fatalf("got %d progress events, want 4: %+v", len(events), events)
+	}
+	var running, done int
+	for _, ev := range events {
+		if ev.SweepID != sw.ID() {
+			t.Errorf("event for wrong sweep: %+v", ev)
+		}
+		switch ev.Job.Status {
+		case lab.JobRunning:
+			running++
+		case lab.JobDone:
+			done++
+		}
+	}
+	if running != 2 || done != 2 {
+		t.Fatalf("running/done events = %d/%d, want 2/2", running, done)
+	}
+}
+
+func TestDispatcherBoundsConcurrency(t *testing.T) {
+	fake := &fakeRunner{block: make(chan struct{})}
+	d := lab.NewDispatcher(fake, 2, 0)
+	defer d.Close()
+	var jobs []lab.JobSpec
+	for i := 1; i <= 8; i++ {
+		jobs = append(jobs, testSpec("fib", i))
+	}
+	sw, err := d.SubmitJobs("bounded", jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // let the pool saturate
+	close(fake.block)
+	waitSweep(t, sw)
+	if got := fake.maxInfl.Load(); got > 2 {
+		t.Fatalf("observed %d concurrent jobs on a 2-worker pool", got)
+	}
+}
+
+func TestDispatcherRejectsAfterClose(t *testing.T) {
+	d := lab.NewDispatcher(&fakeRunner{}, 1, 0)
+	d.Close()
+	if _, err := d.SubmitJobs("late", []lab.JobSpec{testSpec("fib", 1)}); err == nil {
+		t.Fatal("submit after Close should fail")
+	}
+}
+
+func TestDispatcherRejectsEmptySweep(t *testing.T) {
+	d := lab.NewDispatcher(&fakeRunner{}, 1, 0)
+	defer d.Close()
+	if _, err := d.SubmitJobs("empty", nil); err == nil {
+		t.Fatal("empty sweep should fail at submit")
+	}
+}

@@ -1,0 +1,107 @@
+package lab
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Runner turns a JobSpec into a Record. It is the seam between the
+// report layer (which asks for experiment cells) and the lab (which
+// decides whether a cell must actually execute): a CachedRunner
+// answers from the store, a DirectRunner always measures, and tests
+// substitute fakes.
+type Runner interface {
+	Run(spec JobSpec) (*Record, error)
+}
+
+// DirectRunner executes every job through an Executor, with no
+// caching beyond the executor's sequential-baseline cache.
+type DirectRunner struct {
+	Exec *Executor
+}
+
+// NewDirectRunner returns a DirectRunner with a fresh Executor.
+func NewDirectRunner() *DirectRunner { return &DirectRunner{Exec: NewExecutor()} }
+
+// Run implements Runner.
+func (d *DirectRunner) Run(spec JobSpec) (*Record, error) { return d.Exec.Execute(spec) }
+
+// CachedRunner consults a Store before delegating to the next
+// Runner, and persists what the next runner produces. Concurrent
+// requests for the same key are coalesced into a single execution.
+type CachedRunner struct {
+	Store *Store
+	Next  Runner
+
+	hits, misses atomic.Int64
+
+	mu       sync.Mutex
+	inflight map[string]*inflightJob
+}
+
+type inflightJob struct {
+	done chan struct{}
+	rec  *Record
+	err  error
+}
+
+// NewCachedRunner returns a CachedRunner over store, executing
+// misses on next.
+func NewCachedRunner(store *Store, next Runner) *CachedRunner {
+	return &CachedRunner{Store: store, Next: next, inflight: map[string]*inflightJob{}}
+}
+
+// Hits and Misses report cache behaviour since construction.
+func (c *CachedRunner) Hits() int64   { return c.hits.Load() }
+func (c *CachedRunner) Misses() int64 { return c.misses.Load() }
+
+// Run implements Runner: store hit → cached record; miss → execute
+// once (coalescing concurrent callers), persist, return.
+func (c *CachedRunner) Run(spec JobSpec) (*Record, error) {
+	spec = spec.Normalize()
+	key := spec.Key()
+	if r, ok := c.Store.Get(key); ok {
+		c.hits.Add(1)
+		return r, nil
+	}
+
+	c.mu.Lock()
+	if job, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		<-job.done
+		if job.err == nil {
+			c.hits.Add(1)
+		}
+		return job.rec, job.err
+	}
+	job := &inflightJob{done: make(chan struct{})}
+	c.inflight[key] = job
+	c.mu.Unlock()
+
+	defer func() {
+		c.mu.Lock()
+		delete(c.inflight, key)
+		c.mu.Unlock()
+		close(job.done)
+	}()
+
+	// Re-check under inflight ownership: the store may have been
+	// populated between the first Get and acquiring the slot.
+	if r, ok := c.Store.Get(key); ok {
+		c.hits.Add(1)
+		job.rec = r
+		return r, nil
+	}
+	c.misses.Add(1)
+	r, err := c.Next.Run(spec)
+	if err != nil {
+		job.err = err
+		return nil, err
+	}
+	if err := c.Store.Put(r); err != nil {
+		job.err = err
+		return nil, err
+	}
+	job.rec = r
+	return r, nil
+}

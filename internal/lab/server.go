@@ -1,0 +1,211 @@
+package lab
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"bots/internal/core"
+)
+
+// ErrUnknownFigure is returned by a RenderFunc for a figure name it
+// does not dispatch; the server maps it to 404.
+var ErrUnknownFigure = errors.New("lab: unknown report figure")
+
+// RenderFunc renders one named report artifact (a figure, table, or
+// ablation) from cached records to w. The lab package does not depend
+// on the report layer; cmd/botslab injects the report renderer here.
+type RenderFunc func(w io.Writer, figure string, class core.Class, threads []int) error
+
+// Server is the `bots serve` HTTP service: it accepts sweep
+// manifests, reports sweep progress (with optional streaming), serves
+// the result store, and renders report figures from cached records.
+type Server struct {
+	Disp  *Dispatcher
+	Store *Store
+	// Render, when non-nil, backs GET /report/{figure}.
+	Render RenderFunc
+	// PollInterval is the status-streaming poll period (default 100ms).
+	PollInterval time.Duration
+}
+
+// Handler returns the service's HTTP handler:
+//
+//	POST /sweeps              submit a SweepSpec manifest → 202 + status
+//	GET  /sweeps              list sweep statuses
+//	GET  /sweeps/{id}         one sweep's status; ?follow=true streams
+//	                          NDJSON snapshots until the sweep finishes
+//	GET  /results             records, filterable by bench/version/
+//	                          class/threads/key/verified
+//	GET  /report/{figure}     render a report artifact from the store
+//	GET  /healthz             liveness
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /sweeps", s.handleSubmit)
+	mux.HandleFunc("GET /sweeps", s.handleListSweeps)
+	mux.HandleFunc("GET /sweeps/{id}", s.handleSweep)
+	mux.HandleFunc("GET /results", s.handleResults)
+	mux.HandleFunc("GET /report/{figure}", s.handleReport)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "records": s.Store.Len()})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	spec, err := ReadSweepSpec(r.Body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	sw, err := s.Disp.Submit(spec)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, sw.Status())
+}
+
+func (s *Server) handleListSweeps(w http.ResponseWriter, r *http.Request) {
+	out := []SweepStatus{}
+	for _, sw := range s.Disp.Sweeps() {
+		out = append(out, sw.Status())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.Disp.Sweep(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "lab: unknown sweep %q", r.PathValue("id"))
+		return
+	}
+	if r.URL.Query().Get("follow") != "true" {
+		writeJSON(w, http.StatusOK, sw.Status())
+		return
+	}
+	// Streaming progress: one NDJSON snapshot per state change until
+	// the sweep finishes or the client goes away.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emit := func(st SweepStatus) {
+		enc.Encode(st)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	interval := s.PollInterval
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	last := sw.Status()
+	emit(last)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for !last.Finished() {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-sw.Done():
+		case <-ticker.C:
+		}
+		st := sw.Status()
+		if st.Queued != last.Queued || st.Running != last.Running ||
+			st.Done != last.Done || st.Failed != last.Failed {
+			emit(st)
+		}
+		last = st
+	}
+}
+
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	f := Filter{
+		Bench:   q.Get("bench"),
+		Version: q.Get("version"),
+		Class:   q.Get("class"),
+		Key:     q.Get("key"),
+	}
+	if t := q.Get("threads"); t != "" {
+		n, err := strconv.Atoi(t)
+		if err != nil || n < 1 {
+			httpError(w, http.StatusBadRequest, "lab: bad threads filter %q", t)
+			return
+		}
+		f.Threads = n
+	}
+	if v := q.Get("verified"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "lab: bad verified filter %q", v)
+			return
+		}
+		f.Verified = &b
+	}
+	recs := s.Store.Select(f)
+	if recs == nil {
+		recs = []*Record{}
+	}
+	writeJSON(w, http.StatusOK, recs)
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	if s.Render == nil {
+		httpError(w, http.StatusNotImplemented, "lab: this server has no report renderer")
+		return
+	}
+	figure := r.PathValue("figure")
+	q := r.URL.Query()
+	class := core.Test
+	if c := q.Get("class"); c != "" {
+		var err error
+		if class, err = core.ParseClass(c); err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	var threads []int
+	if t := q.Get("threads"); t != "" {
+		for _, part := range strings.Split(t, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 1 {
+				httpError(w, http.StatusBadRequest, "lab: bad threads axis %q", t)
+				return
+			}
+			threads = append(threads, n)
+		}
+	}
+	// Render into a buffer so a failure maps to a clean status code
+	// instead of a half-written page.
+	var buf bytes.Buffer
+	if err := s.Render(&buf, figure, class, threads); err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrUnknownFigure) {
+			status = http.StatusNotFound
+		}
+		httpError(w, status, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write(buf.Bytes())
+}

@@ -1,0 +1,225 @@
+package lab_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	_ "bots/internal/apps/all"
+	"bots/internal/lab"
+	"bots/internal/report"
+)
+
+// newTestServer assembles the full service the way cmd/botslab does:
+// store → executor → cached runner → dispatcher → HTTP handler, with
+// the real report renderer injected.
+func newTestServer(t *testing.T) (*httptest.Server, *lab.DirectRunner, *lab.Store) {
+	t.Helper()
+	store, err := lab.OpenStore(filepath.Join(t.TempDir(), "lab.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := lab.NewDirectRunner()
+	runner := lab.NewCachedRunner(store, direct)
+	disp := lab.NewDispatcher(runner, 8, 1)
+	srv := &lab.Server{
+		Disp:         disp,
+		Store:        store,
+		Render:       report.RenderFuncFor(runner),
+		PollInterval: 10 * time.Millisecond,
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		disp.Close()
+		store.Close()
+	})
+	return ts, direct, store
+}
+
+func getJSON(t *testing.T, url string, v any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if v != nil {
+		if err := json.Unmarshal(body, v); err != nil {
+			t.Fatalf("decoding %s: %v\n%s", url, err, body)
+		}
+	}
+	return resp
+}
+
+// TestServerEndToEnd drives the full submit → poll → results →
+// report flow over HTTP with a manifest covering 24 real job cells
+// on the test class.
+func TestServerEndToEnd(t *testing.T) {
+	ts, direct, store := newTestServer(t)
+
+	// 2 benches × 2 versions × 3 thread counts × 2 cut-off depths.
+	manifest := `{
+		"name": "e2e-grid",
+		"benches": ["fib", "nqueens"],
+		"versions": ["manual-tied", "if-tied"],
+		"classes": ["test"],
+		"threads": [1, 2, 4],
+		"cutoff_depths": [3, 5]
+	}`
+	resp, err := http.Post(ts.URL+"/sweeps", "application/json", strings.NewReader(manifest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var submitted lab.SweepStatus
+	if err := json.NewDecoder(resp.Body).Decode(&submitted); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /sweeps status = %d", resp.StatusCode)
+	}
+	if submitted.Total != 24 {
+		t.Fatalf("sweep expanded to %d cells, want 24", submitted.Total)
+	}
+
+	// Poll until the sweep completes.
+	deadline := time.Now().Add(60 * time.Second)
+	var st lab.SweepStatus
+	for {
+		getJSON(t, ts.URL+"/sweeps/"+submitted.ID, &st)
+		if st.Finished() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep never finished: %+v", st)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if st.Done != 24 || st.Failed != 0 {
+		t.Fatalf("sweep finished badly: %+v", st)
+	}
+
+	// Every record is retrievable, and filters narrow correctly.
+	var all []lab.Record
+	getJSON(t, ts.URL+"/results", &all)
+	if len(all) != 24 {
+		t.Fatalf("GET /results returned %d records, want 24", len(all))
+	}
+	for _, r := range all {
+		if !r.Verified {
+			t.Errorf("unverified record %s (%s/%s)", r.Key, r.Spec.Bench, r.Spec.Version)
+		}
+		if r.Sim == nil || r.Sim.Speedup <= 0 {
+			t.Errorf("record %s has no simulated speedup", r.Key)
+		}
+	}
+	var fib2 []lab.Record
+	getJSON(t, ts.URL+"/results?bench=fib&threads=2", &fib2)
+	if len(fib2) != 4 { // 2 versions × 2 cut-off depths
+		t.Fatalf("filtered results = %d records, want 4", len(fib2))
+	}
+
+	// The report endpoint renders from the same store/runner; the
+	// cut-off sweep below reuses nothing from the grid, so it
+	// executes once, and a re-render is free.
+	execsBefore := direct.Exec.Executions()
+	resp, err = http.Get(ts.URL + "/report/cutoffdepth?class=test&threads=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(page), "cut-off value sweep") {
+		t.Fatalf("report page missing content:\n%s", page)
+	}
+	execsAfterFirst := direct.Exec.Executions()
+	if execsAfterFirst == execsBefore {
+		t.Fatal("first render should have executed the sweep's cells")
+	}
+	resp, err = http.Get(ts.URL + "/report/cutoffdepth?class=test&threads=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if got := direct.Exec.Executions(); got != execsAfterFirst {
+		t.Fatalf("re-render executed %d extra benchmarks, want 0", got-execsAfterFirst)
+	}
+
+	if store.Len() < 24 {
+		t.Fatalf("store holds %d records, want >= 24", store.Len())
+	}
+}
+
+func TestServerStreamsProgress(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	manifest := `{"name":"stream","benches":["fib"],"versions":["manual-tied"],"classes":["test"],"threads":[1,2]}`
+	resp, err := http.Post(ts.URL+"/sweeps", "application/json", strings.NewReader(manifest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var submitted lab.SweepStatus
+	json.NewDecoder(resp.Body).Decode(&submitted)
+	resp.Body.Close()
+
+	// The follow stream emits NDJSON snapshots and closes when the
+	// sweep finishes; the last line must be a finished status.
+	resp, err = http.Get(fmt.Sprintf("%s/sweeps/%s?follow=true", ts.URL, submitted.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("follow content type = %q", ct)
+	}
+	var last lab.SweepStatus
+	lines := 0
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+			t.Fatalf("bad NDJSON line: %v\n%s", err, sc.Text())
+		}
+		lines++
+	}
+	if lines == 0 {
+		t.Fatal("follow stream emitted nothing")
+	}
+	if !last.Finished() || last.Done != 2 {
+		t.Fatalf("final streamed status = %+v", last)
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	if resp := getJSON(t, ts.URL+"/sweeps/s999", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown sweep status = %d, want 404", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/report/fig99", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown figure status = %d, want 404", resp.StatusCode)
+	}
+	resp, err := http.Post(ts.URL+"/sweeps", "application/json", strings.NewReader(`{"benches":["nope"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad manifest status = %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/sweeps", "application/json", strings.NewReader(`{"benches":["fib"],"typo":[1]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown-field manifest status = %d, want 400", resp.StatusCode)
+	}
+}

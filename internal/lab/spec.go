@@ -1,0 +1,367 @@
+// Package lab is the experiment-orchestration subsystem: declarative
+// sweep manifests over the suite's configuration axes (benchmark ×
+// version × class × threads × cut-off × runtime cut-off × policy ×
+// simulated team), a bounded-worker dispatcher that runs the expanded
+// cells, a persistent content-addressed result store, and an HTTP
+// service that accepts sweeps and serves records and rendered report
+// figures.
+//
+// The paper's evaluation is exactly such a grid; the lab makes each
+// cell a first-class, cacheable artifact (a Record keyed by the
+// canonical content address of its JobSpec) so regenerating a figure
+// re-executes nothing that has already been measured.
+package lab
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"bots/internal/core"
+	"bots/internal/omp"
+)
+
+// SimOverrides are the simulator cost-model knobs a job may override
+// relative to sim.DefaultOverheads. Only the ablation-bearing fields
+// are exposed: they are part of the job's content address, so a
+// counterfactual run never aliases a baseline record.
+type SimOverrides struct {
+	// ThreadSwitch enables untied continuation migration (§IV-C
+	// counterfactual); SwitchNS is the migrated-resume cost.
+	ThreadSwitch bool    `json:"thread_switch,omitempty"`
+	SwitchNS     float64 `json:"switch_ns,omitempty"`
+	// QueueSerializeNS, when positive, models a central shared task
+	// queue instead of per-worker deques.
+	QueueSerializeNS float64 `json:"queue_serialize_ns,omitempty"`
+}
+
+func (o *SimOverrides) zero() bool {
+	return o == nil || (!o.ThreadSwitch && o.SwitchNS == 0 && o.QueueSerializeNS == 0)
+}
+
+// JobSpec identifies one experiment cell: everything needed to
+// reproduce a single (record + simulate + verify) execution. Its
+// canonical form (Normalize) is content-addressed by Key.
+type JobSpec struct {
+	Bench   string `json:"bench"`
+	Version string `json:"version"`
+	Class   string `json:"class"`
+	// Threads is the recording team size and, unless Simulate is set,
+	// the simulated team size.
+	Threads int `json:"threads"`
+	// CutoffDepth overrides the application depth cut-off (0 = app
+	// default).
+	CutoffDepth int `json:"cutoff_depth,omitempty"`
+	// RuntimeCutoff is the runtime cut-off policy name:
+	// none/maxtasks/maxqueue/adaptive ("" = none).
+	RuntimeCutoff string `json:"runtime_cutoff,omitempty"`
+	// Policy is the local scheduling policy: workfirst/breadthfirst
+	// ("" = workfirst). It selects both the real runtime policy and
+	// the simulator's local queue discipline.
+	Policy string `json:"policy,omitempty"`
+	// Simulate is the simulated (virtual) team size; 0 means Threads.
+	Simulate int `json:"simulate,omitempty"`
+	// Overheads are optional simulator cost-model overrides.
+	Overheads *SimOverrides `json:"overheads,omitempty"`
+}
+
+// Normalize returns the canonical form of the spec: defaults made
+// explicit where they change identity (Simulate), default-valued
+// strings collapsed to "", and zero-valued override structs dropped.
+func (j JobSpec) Normalize() JobSpec {
+	if j.Simulate == 0 {
+		j.Simulate = j.Threads
+	}
+	if j.RuntimeCutoff == "none" {
+		j.RuntimeCutoff = ""
+	}
+	if j.Policy == "workfirst" {
+		j.Policy = ""
+	}
+	if j.Overheads.zero() {
+		j.Overheads = nil
+	} else {
+		o := *j.Overheads
+		if !o.ThreadSwitch {
+			o.SwitchNS = 0 // SwitchNS is only meaningful with ThreadSwitch
+		}
+		j.Overheads = &o
+	}
+	return j
+}
+
+// Key returns the job's content address: a short hex digest of the
+// normalized spec's canonical serialization. Two specs that describe
+// the same cell always share a key.
+func (j JobSpec) Key() string {
+	n := j.Normalize()
+	var ts int
+	var sw, qs float64
+	if n.Overheads != nil {
+		if n.Overheads.ThreadSwitch {
+			ts = 1
+		}
+		sw = n.Overheads.SwitchNS
+		qs = n.Overheads.QueueSerializeNS
+	}
+	canon := fmt.Sprintf("bots-job-v1|bench=%s|version=%s|class=%s|threads=%d|cutoff=%d|rtcutoff=%s|policy=%s|sim=%d|ts=%d|switchns=%g|qserns=%g",
+		n.Bench, n.Version, n.Class, n.Threads, n.CutoffDepth, n.RuntimeCutoff, n.Policy, n.Simulate, ts, sw, qs)
+	sum := sha256.Sum256([]byte(canon))
+	return hex.EncodeToString(sum[:8])
+}
+
+// Validate checks the spec against the registry and the runtime's
+// option vocabulary.
+func (j JobSpec) Validate() error {
+	b, err := core.Get(j.Bench)
+	if err != nil {
+		return err
+	}
+	if !b.HasVersion(j.Version) {
+		return fmt.Errorf("lab: %s has no version %q", j.Bench, j.Version)
+	}
+	if _, err := core.ParseClass(j.Class); err != nil {
+		return err
+	}
+	if j.Threads < 1 {
+		return fmt.Errorf("lab: job %s/%s has non-positive thread count %d", j.Bench, j.Version, j.Threads)
+	}
+	if j.Simulate != 0 && j.Simulate < j.Threads {
+		return fmt.Errorf("lab: job %s/%s simulates %d threads but records on a %d-thread team (need simulate >= threads)",
+			j.Bench, j.Version, j.Simulate, j.Threads)
+	}
+	if j.CutoffDepth < 0 {
+		return fmt.Errorf("lab: job %s/%s has negative cut-off depth %d", j.Bench, j.Version, j.CutoffDepth)
+	}
+	if _, err := parseRuntimeCutoff(j.RuntimeCutoff); err != nil {
+		return err
+	}
+	if _, err := parsePolicy(j.Policy); err != nil {
+		return err
+	}
+	return nil
+}
+
+func parseRuntimeCutoff(name string) (omp.CutoffPolicy, error) {
+	switch name {
+	case "", "none":
+		return nil, nil
+	case "maxtasks":
+		return omp.MaxTasks{}, nil
+	case "maxqueue":
+		return omp.MaxQueue{}, nil
+	case "adaptive":
+		return omp.Adaptive{}, nil
+	}
+	return nil, fmt.Errorf("lab: unknown runtime cut-off %q (want none/maxtasks/maxqueue/adaptive)", name)
+}
+
+func parsePolicy(name string) (omp.Policy, error) {
+	switch name {
+	case "", "workfirst":
+		return omp.WorkFirst, nil
+	case "breadthfirst":
+		return omp.BreadthFirst, nil
+	}
+	return 0, fmt.Errorf("lab: unknown policy %q (want workfirst/breadthfirst)", name)
+}
+
+// SweepSpec is a declarative manifest describing a grid of experiment
+// cells, testground-style: every axis is a list and the sweep is the
+// cross product, filtered to versions each benchmark actually has and
+// deduplicated by content address.
+type SweepSpec struct {
+	// Name labels the sweep in status output.
+	Name string `json:"name,omitempty"`
+	// Benches lists benchmark names; the keywords "paper", "extensions"
+	// and "all" expand to the corresponding registry sets.
+	Benches []string `json:"benches"`
+	// Versions lists version names; the keyword "best" selects each
+	// benchmark's BestVersion. A version that exists on some selected
+	// benchmarks and not others applies only where it exists; a
+	// version no selected benchmark has is an error. Empty means
+	// ["best"].
+	Versions []string `json:"versions,omitempty"`
+	// Classes lists input classes. Empty means ["test"].
+	Classes []string `json:"classes,omitempty"`
+	// Threads is the recording team-size axis. Empty means [1].
+	Threads []int `json:"threads"`
+	// CutoffDepths is the application cut-off axis (0 = app default).
+	// Empty means [0].
+	CutoffDepths []int `json:"cutoff_depths,omitempty"`
+	// RuntimeCutoffs is the runtime cut-off axis. Empty means ["none"].
+	RuntimeCutoffs []string `json:"runtime_cutoffs,omitempty"`
+	// Policies is the scheduling-policy axis. Empty means ["workfirst"].
+	Policies []string `json:"policies,omitempty"`
+	// Simulate is the virtual-team-size axis (0 = same as threads).
+	// Empty means [0].
+	Simulate []int `json:"simulate,omitempty"`
+	// Overheads optionally applies simulator overrides to every cell.
+	Overheads *SimOverrides `json:"overheads,omitempty"`
+}
+
+// ReadSweepSpec decodes a JSON manifest, rejecting unknown fields so
+// a typoed axis name fails loudly instead of silently shrinking the
+// sweep.
+func ReadSweepSpec(r io.Reader) (SweepSpec, error) {
+	var s SweepSpec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return s, fmt.Errorf("lab: decoding sweep manifest: %w", err)
+	}
+	return s, nil
+}
+
+// Expand resolves the manifest into the deduplicated, deterministic
+// list of job cells. The result is sorted by canonical identity so
+// identical manifests always expand identically (golden-testable).
+func (s SweepSpec) Expand() ([]JobSpec, error) {
+	benches, err := s.resolveBenches()
+	if err != nil {
+		return nil, err
+	}
+	versions := s.Versions
+	if len(versions) == 0 {
+		versions = []string{"best"}
+	}
+	classes := s.Classes
+	if len(classes) == 0 {
+		classes = []string{"test"}
+	}
+	for _, c := range classes {
+		if _, err := core.ParseClass(c); err != nil {
+			return nil, err
+		}
+	}
+	threads := s.Threads
+	if len(threads) == 0 {
+		threads = []int{1}
+	}
+	cutoffs := s.CutoffDepths
+	if len(cutoffs) == 0 {
+		cutoffs = []int{0}
+	}
+	rtCutoffs := s.RuntimeCutoffs
+	if len(rtCutoffs) == 0 {
+		rtCutoffs = []string{"none"}
+	}
+	policies := s.Policies
+	if len(policies) == 0 {
+		policies = []string{"workfirst"}
+	}
+	sims := s.Simulate
+	if len(sims) == 0 {
+		sims = []int{0}
+	}
+
+	versionUsed := make(map[string]bool, len(versions))
+	seen := map[string]bool{}
+	var jobs []JobSpec
+	for _, b := range benches {
+		for _, v := range versions {
+			name := v
+			if v == "best" {
+				name = b.BestVersion
+			} else if !b.HasVersion(v) {
+				continue
+			}
+			versionUsed[v] = true
+			for _, class := range classes {
+				for _, t := range threads {
+					for _, cd := range cutoffs {
+						for _, rc := range rtCutoffs {
+							for _, pol := range policies {
+								for _, sim := range sims {
+									j := JobSpec{
+										Bench: b.Name, Version: name, Class: class,
+										Threads: t, CutoffDepth: cd, RuntimeCutoff: rc,
+										Policy: pol, Simulate: sim, Overheads: s.Overheads,
+									}.Normalize()
+									if err := j.Validate(); err != nil {
+										return nil, err
+									}
+									if k := j.Key(); !seen[k] {
+										seen[k] = true
+										jobs = append(jobs, j)
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	for _, v := range versions {
+		if !versionUsed[v] {
+			return nil, fmt.Errorf("lab: no selected benchmark has version %q", v)
+		}
+	}
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].less(jobs[k]) })
+	return jobs, nil
+}
+
+func (j JobSpec) less(o JobSpec) bool {
+	if j.Bench != o.Bench {
+		return j.Bench < o.Bench
+	}
+	if j.Version != o.Version {
+		return j.Version < o.Version
+	}
+	if j.Class != o.Class {
+		return j.Class < o.Class
+	}
+	if j.Threads != o.Threads {
+		return j.Threads < o.Threads
+	}
+	if j.CutoffDepth != o.CutoffDepth {
+		return j.CutoffDepth < o.CutoffDepth
+	}
+	if j.RuntimeCutoff != o.RuntimeCutoff {
+		return j.RuntimeCutoff < o.RuntimeCutoff
+	}
+	if j.Policy != o.Policy {
+		return j.Policy < o.Policy
+	}
+	if j.Simulate != o.Simulate {
+		return j.Simulate < o.Simulate
+	}
+	return j.Key() < o.Key()
+}
+
+func (s SweepSpec) resolveBenches() ([]*core.Benchmark, error) {
+	if len(s.Benches) == 0 {
+		return nil, fmt.Errorf("lab: sweep manifest selects no benchmarks")
+	}
+	seen := map[string]bool{}
+	var out []*core.Benchmark
+	add := func(bs ...*core.Benchmark) {
+		for _, b := range bs {
+			if !seen[b.Name] {
+				seen[b.Name] = true
+				out = append(out, b)
+			}
+		}
+	}
+	for _, name := range s.Benches {
+		switch name {
+		case "paper":
+			add(core.Paper()...)
+		case "extensions":
+			add(core.Extensions()...)
+		case "all":
+			add(core.All()...)
+		default:
+			b, err := core.Get(name)
+			if err != nil {
+				return nil, err
+			}
+			add(b)
+		}
+	}
+	return out, nil
+}

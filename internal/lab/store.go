@@ -1,0 +1,142 @@
+package lab
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Store is the persistent result store: an append-only JSONL file
+// (one Record per line) with an in-memory index by job key. Opening a
+// store replays the log; on duplicate keys the last record wins, so
+// re-running a cell supersedes the old measurement without rewriting
+// history. A Store with an empty path is purely in-memory.
+type Store struct {
+	mu    sync.RWMutex
+	path  string
+	f     *os.File
+	byKey map[string]*Record
+	order []string // insertion order of first appearance
+}
+
+// OpenStore opens (creating if needed) the JSONL store at path and
+// loads its index. An empty path yields an in-memory store.
+func OpenStore(path string) (*Store, error) {
+	s := &Store{path: path, byKey: map[string]*Record{}}
+	if path == "" {
+		return s, nil
+	}
+	// O_APPEND: every Put lands at the file's current EOF, so two
+	// processes sharing a store file (botslab -serve + botsreport)
+	// interleave whole lines instead of splicing into each other.
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("lab: opening store %s: %w", path, err)
+	}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var r Record
+		if err := json.Unmarshal(raw, &r); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("lab: store %s line %d: %w", path, line, err)
+		}
+		s.index(&r)
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("lab: reading store %s: %w", path, err)
+	}
+	s.f = f
+	return s, nil
+}
+
+func (s *Store) index(r *Record) {
+	if _, seen := s.byKey[r.Key]; !seen {
+		s.order = append(s.order, r.Key)
+	}
+	s.byKey[r.Key] = r
+}
+
+// Path returns the backing file path ("" for in-memory stores).
+func (s *Store) Path() string { return s.path }
+
+// Len returns the number of distinct keys in the store.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byKey)
+}
+
+// Get returns the record for a job key, if present.
+func (s *Store) Get(key string) (*Record, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.byKey[key]
+	return r, ok
+}
+
+// Put appends the record to the log and indexes it. The append is
+// flushed before Put returns so a concurrent reader of the file never
+// sees a half-written line on a crash-free run.
+func (s *Store) Put(r *Record) error {
+	if r.Key == "" {
+		r.Key = r.Spec.Key()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f != nil {
+		raw, err := json.Marshal(r)
+		if err != nil {
+			return fmt.Errorf("lab: encoding record %s: %w", r.Key, err)
+		}
+		raw = append(raw, '\n')
+		if _, err := s.f.Write(raw); err != nil {
+			return fmt.Errorf("lab: appending to store %s: %w", s.path, err)
+		}
+	}
+	s.index(r)
+	return nil
+}
+
+// Records returns all current records in first-appearance order.
+func (s *Store) Records() []*Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*Record, 0, len(s.order))
+	for _, k := range s.order {
+		out = append(out, s.byKey[k])
+	}
+	return out
+}
+
+// Select returns the records matching the filter, in store order.
+func (s *Store) Select(f Filter) []*Record {
+	var out []*Record
+	for _, r := range s.Records() {
+		if r.Matches(f) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Close closes the backing file. The Store must not be used after.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}

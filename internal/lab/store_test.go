@@ -1,0 +1,195 @@
+package lab_test
+
+import (
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"bots/internal/lab"
+)
+
+// fakeRunner is a Runner test double: it fabricates a Record per
+// spec, counting executions, optionally failing the first N calls.
+type fakeRunner struct {
+	calls    atomic.Int64
+	failN    atomic.Int64
+	inflight atomic.Int64
+	maxInfl  atomic.Int64
+	block    chan struct{} // when non-nil, Run waits on it
+}
+
+func (f *fakeRunner) Run(spec lab.JobSpec) (*lab.Record, error) {
+	cur := f.inflight.Add(1)
+	defer f.inflight.Add(-1)
+	for {
+		prev := f.maxInfl.Load()
+		if cur <= prev || f.maxInfl.CompareAndSwap(prev, cur) {
+			break
+		}
+	}
+	if f.block != nil {
+		<-f.block
+	}
+	f.calls.Add(1)
+	if f.failN.Add(-1) >= 0 {
+		return nil, errFake
+	}
+	spec = spec.Normalize()
+	return &lab.Record{Key: spec.Key(), Spec: spec, Verified: true, Tasks: 1}, nil
+}
+
+type fakeErr string
+
+func (e fakeErr) Error() string { return string(e) }
+
+const errFake = fakeErr("fake runner: injected failure")
+
+func testSpec(bench string, threads int) lab.JobSpec {
+	return lab.JobSpec{Bench: bench, Version: "manual-tied", Class: "test", Threads: threads}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lab.jsonl")
+	s, err := lab.OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specA, specB := testSpec("fib", 1).Normalize(), testSpec("fib", 2).Normalize()
+	for _, sp := range []lab.JobSpec{specA, specB} {
+		if err := s.Put(&lab.Record{Key: sp.Key(), Spec: sp, Verified: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 2 {
+		t.Fatalf("store len = %d, want 2", s.Len())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := lab.OpenStore(path)
+	if err != nil {
+		t.Fatalf("reopening store: %v", err)
+	}
+	defer re.Close()
+	if re.Len() != 2 {
+		t.Fatalf("reloaded store len = %d, want 2", re.Len())
+	}
+	got, ok := re.Get(specB.Key())
+	if !ok || got.Spec.Threads != 2 {
+		t.Fatalf("reloaded record = %+v, %v", got, ok)
+	}
+	recs := re.Records()
+	if len(recs) != 2 || recs[0].Key != specA.Key() || recs[1].Key != specB.Key() {
+		t.Fatalf("record order not preserved: %+v", recs)
+	}
+}
+
+func TestStoreLastRecordWins(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lab.jsonl")
+	s, err := lab.OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := testSpec("fib", 1).Normalize()
+	s.Put(&lab.Record{Key: sp.Key(), Spec: sp, ElapsedNS: 100})
+	s.Put(&lab.Record{Key: sp.Key(), Spec: sp, ElapsedNS: 200})
+	if s.Len() != 1 {
+		t.Fatalf("len = %d, want 1 (same key supersedes)", s.Len())
+	}
+	s.Close()
+	re, err := lab.OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	got, _ := re.Get(sp.Key())
+	if got == nil || got.ElapsedNS != 200 {
+		t.Fatalf("reloaded record = %+v, want the later append", got)
+	}
+}
+
+func TestStoreSelectFilters(t *testing.T) {
+	s, _ := lab.OpenStore("")
+	for _, sp := range []lab.JobSpec{testSpec("fib", 1), testSpec("fib", 2), testSpec("nqueens", 2)} {
+		n := sp.Normalize()
+		s.Put(&lab.Record{Key: n.Key(), Spec: n, Verified: true})
+	}
+	if got := len(s.Select(lab.Filter{Bench: "fib"})); got != 2 {
+		t.Errorf("bench filter matched %d, want 2", got)
+	}
+	if got := len(s.Select(lab.Filter{Threads: 2})); got != 2 {
+		t.Errorf("threads filter matched %d, want 2", got)
+	}
+	if got := len(s.Select(lab.Filter{Bench: "fib", Threads: 2})); got != 1 {
+		t.Errorf("combined filter matched %d, want 1", got)
+	}
+	f := false
+	if got := len(s.Select(lab.Filter{Verified: &f})); got != 0 {
+		t.Errorf("verified=false filter matched %d, want 0", got)
+	}
+}
+
+func TestCachedRunnerHitSkipsExecution(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lab.jsonl")
+	store, err := lab.OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fake := &fakeRunner{}
+	c := lab.NewCachedRunner(store, fake)
+	sp := testSpec("fib", 2)
+	if _, err := c.Run(sp); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(sp); err != nil {
+		t.Fatal(err)
+	}
+	if fake.calls.Load() != 1 {
+		t.Fatalf("executed %d times, want 1", fake.calls.Load())
+	}
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 1/1", c.Hits(), c.Misses())
+	}
+	store.Close()
+
+	// Cache hits must survive a process restart (store reload).
+	re, err := lab.OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	c2 := lab.NewCachedRunner(re, fake)
+	if _, err := c2.Run(sp); err != nil {
+		t.Fatal(err)
+	}
+	if fake.calls.Load() != 1 {
+		t.Fatalf("reloaded store re-executed: %d calls", fake.calls.Load())
+	}
+	if c2.Hits() != 1 {
+		t.Fatalf("reloaded store hits = %d, want 1", c2.Hits())
+	}
+}
+
+func TestCachedRunnerCoalescesConcurrentMisses(t *testing.T) {
+	store, _ := lab.OpenStore("")
+	fake := &fakeRunner{block: make(chan struct{})}
+	c := lab.NewCachedRunner(store, fake)
+	sp := testSpec("fib", 4)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := c.Run(sp); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	close(fake.block)
+	wg.Wait()
+	if fake.calls.Load() != 1 {
+		t.Fatalf("concurrent misses executed %d times, want 1", fake.calls.Load())
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"bots/internal/core"
+	"bots/internal/lab"
 	"bots/internal/trace"
 )
 
@@ -15,7 +16,7 @@ import (
 // directly: applications saturate either because W/S is low
 // (structural) or because they are memory-bound (the bandwidth term
 // of the cost model); the table separates the two causes.
-func TableAnalysis(w io.Writer, class core.Class) error {
+func TableAnalysis(r lab.Runner, w io.Writer, class core.Class) error {
 	fmt.Fprintf(w, "Task-graph analysis — best version per application (%s class)\n\n", class)
 	header := []string{
 		"Application", "Version", "Tasks", "Work (units)", "Span (units)",
@@ -23,7 +24,7 @@ func TableAnalysis(w io.Writer, class core.Class) error {
 	}
 	var rows [][]string
 	for _, b := range core.All() {
-		a, err := AnalyzeBenchmark(b, b.BestVersion, class)
+		a, err := AnalyzeBenchmark(r, b, b.BestVersion, class)
 		if err != nil {
 			return err
 		}
@@ -43,18 +44,19 @@ func TableAnalysis(w io.Writer, class core.Class) error {
 	return nil
 }
 
-// AnalyzeBenchmark records one version on a single-thread team and
-// returns its task-graph analysis.
-func AnalyzeBenchmark(b *core.Benchmark, version string, class core.Class) (trace.Analysis, error) {
-	rec := trace.NewRecorder()
-	if _, err := b.Run(core.RunConfig{
-		Class: class, Version: version, Threads: 1, Recorder: rec,
-	}); err != nil {
+// AnalyzeBenchmark returns the task-graph analysis of one version's
+// single-thread cell. The analysis is part of the lab Record, so a
+// cached runner answers repeat renders without re-running anything.
+func AnalyzeBenchmark(r lab.Runner, b *core.Benchmark, version string, class core.Class) (trace.Analysis, error) {
+	rec, err := r.Run(lab.JobSpec{
+		Bench: b.Name, Version: version, Class: class.String(), Threads: 1,
+	})
+	if err != nil {
 		return trace.Analysis{}, fmt.Errorf("report: analyzing %s/%s: %w", b.Name, version, err)
 	}
-	tr := rec.Finish()
-	if err := tr.Validate(); err != nil {
-		return trace.Analysis{}, fmt.Errorf("report: %s/%s trace: %w", b.Name, version, err)
+	if rec.Analysis == nil {
+		return trace.Analysis{}, fmt.Errorf("report: record %s (%s/%s) predates the stored task-graph analysis; re-measure with a fresh store",
+			rec.Key, b.Name, version)
 	}
-	return trace.Analyze(tr), nil
+	return *rec.Analysis, nil
 }

@@ -1,0 +1,74 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"bots/internal/core"
+	"bots/internal/lab"
+)
+
+// Artifacts lists the renderable report artifacts, in the order the
+// full report prints them.
+func Artifacts() []string {
+	return []string{
+		"table1", "table2", "analysis",
+		"fig3", "fig4", "fig5", "extensions",
+		"cutoffdepth", "policy", "threadswitch", "queuearch", "generators",
+	}
+}
+
+// Render renders one named artifact through the runner. A nil threads
+// axis means PaperThreads. It is the single dispatch both cmd/botsreport
+// and the lab server's GET /report/{figure} endpoint use.
+func Render(r lab.Runner, w io.Writer, name string, class core.Class, threads []int) error {
+	if threads == nil {
+		threads = PaperThreads
+	}
+	switch name {
+	case "table1":
+		Table1(w)
+		return nil
+	case "table2":
+		return Table2(r, w, class)
+	case "analysis":
+		return TableAnalysis(r, w, class)
+	case "fig3":
+		return Fig3(r, w, class, threads)
+	case "fig4":
+		return Fig4(r, w, class, threads)
+	case "fig5":
+		return Fig5(r, w, class, threads)
+	case "extensions":
+		return FigExtensions(r, w, class, threads)
+	case "cutoffdepth":
+		// The cut-off sweep is a single-thread-count study: 8 threads
+		// (the paper's §IV-D setup) when the axis includes it,
+		// otherwise the largest requested team.
+		t := threads[len(threads)-1]
+		for _, c := range threads {
+			if c == 8 {
+				t = 8
+			}
+		}
+		return AblationCutoffDepth(r, w, class, t, nil)
+	case "policy":
+		return AblationPolicy(r, w, class, threads)
+	case "threadswitch":
+		return AblationThreadSwitch(r, w, class, threads)
+	case "queuearch":
+		return AblationQueueArch(r, w, class, threads)
+	case "generators":
+		return AblationGenerators(r, w, class, threads)
+	}
+	return fmt.Errorf("%w: %q (have %v)", lab.ErrUnknownFigure, name, Artifacts())
+}
+
+// RenderFuncFor adapts Render over a fixed runner into the lab
+// server's injection point, closing the loop from `GET
+// /report/{figure}` back to the cached store the sweeps populate.
+func RenderFuncFor(r lab.Runner) lab.RenderFunc {
+	return func(w io.Writer, figure string, class core.Class, threads []int) error {
+		return Render(r, w, figure, class, threads)
+	}
+}

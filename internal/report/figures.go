@@ -5,13 +5,12 @@ import (
 	"io"
 
 	"bots/internal/core"
-	"bots/internal/omp"
-	"bots/internal/sim"
+	"bots/internal/lab"
 )
 
 // Fig3 regenerates the paper's Figure 3: the speedup of the best
 // version of each application across the thread axis.
-func Fig3(w io.Writer, class core.Class, threads []int) error {
+func Fig3(r lab.Runner, w io.Writer, class core.Class, threads []int) error {
 	var all []Series
 	for _, b := range core.Paper() {
 		if b.Name == "fib" {
@@ -19,7 +18,7 @@ func Fig3(w io.Writer, class core.Class, threads []int) error {
 			// the microbenchmark used in the cut-off study instead.
 			continue
 		}
-		s, err := SpeedupSeries(b, b.BestVersion, SeriesConfig{Class: class, Threads: threads})
+		s, err := SpeedupSeries(r, b, b.BestVersion, SeriesConfig{Class: class, Threads: threads})
 		if err != nil {
 			return err
 		}
@@ -34,7 +33,7 @@ func Fig3(w io.Writer, class core.Class, threads []int) error {
 // task-count cut-off, mirroring the paper's setup where "only the one
 // implemented by the runtime (if any) is in use" and the Intel
 // runtime bounds the number of live tasks.
-func Fig4(w io.Writer, class core.Class, threads []int) error {
+func Fig4(r lab.Runner, w io.Writer, class core.Class, threads []int) error {
 	b, err := core.Get("nqueens")
 	if err != nil {
 		return err
@@ -43,14 +42,14 @@ func Fig4(w io.Writer, class core.Class, threads []int) error {
 	type cfg struct {
 		version string
 		label   string
-		rt      omp.CutoffPolicy
+		rt      string
 	}
 	for _, c := range []cfg{
-		{"if-untied", "with if clause cut-off", nil},
-		{"manual-untied", "with manual cut-off", nil},
-		{"none-untied", "with no cut-off (runtime maxtasks)", omp.MaxTasks{}},
+		{"if-untied", "with if clause cut-off", ""},
+		{"manual-untied", "with manual cut-off", ""},
+		{"none-untied", "with no cut-off (runtime maxtasks)", "maxtasks"},
 	} {
-		s, err := SpeedupSeries(b, c.version, SeriesConfig{
+		s, err := SpeedupSeries(r, b, c.version, SeriesConfig{
 			Class: class, Threads: threads, RuntimeCutoff: c.rt,
 		})
 		if err != nil {
@@ -65,7 +64,7 @@ func Fig4(w io.Writer, class core.Class, threads []int) error {
 
 // Fig5 regenerates Figure 5: tied vs untied tasks on Alignment and
 // NQueens.
-func Fig5(w io.Writer, class core.Class, threads []int) error {
+func Fig5(r lab.Runner, w io.Writer, class core.Class, threads []int) error {
 	var all []Series
 	type pick struct{ bench, tiedV, untiedV string }
 	for _, p := range []pick{
@@ -77,7 +76,7 @@ func Fig5(w io.Writer, class core.Class, threads []int) error {
 			return err
 		}
 		for _, v := range []string{p.tiedV, p.untiedV} {
-			s, err := SpeedupSeries(b, v, SeriesConfig{Class: class, Threads: threads})
+			s, err := SpeedupSeries(r, b, v, SeriesConfig{Class: class, Threads: threads})
 			if err != nil {
 				return err
 			}
@@ -92,15 +91,15 @@ func Fig5(w io.Writer, class core.Class, threads []int) error {
 // and Knapsack, the suite additions the paper's §V announces) with
 // their best versions, alongside their cut-off sensitivity — UTS's
 // unbalanced implicit tree is the canonical work-stealing stressor.
-func FigExtensions(w io.Writer, class core.Class, threads []int) error {
+func FigExtensions(r lab.Runner, w io.Writer, class core.Class, threads []int) error {
 	var all []Series
 	for _, b := range core.Extensions() {
-		best, err := SpeedupSeries(b, b.BestVersion, SeriesConfig{Class: class, Threads: threads})
+		best, err := SpeedupSeries(r, b, b.BestVersion, SeriesConfig{Class: class, Threads: threads})
 		if err != nil {
 			return err
 		}
 		all = append(all, best)
-		none, err := SpeedupSeries(b, "none-tied", SeriesConfig{Class: class, Threads: threads})
+		none, err := SpeedupSeries(r, b, "none-tied", SeriesConfig{Class: class, Threads: threads})
 		if err != nil {
 			return err
 		}
@@ -117,7 +116,7 @@ func FigExtensions(w io.Writer, class core.Class, threads []int) error {
 // avoid imbalances". The simulator can implement it, so this ablation
 // compares untied tasks without and with continuation migration on
 // the imbalanced benchmarks.
-func AblationThreadSwitch(w io.Writer, class core.Class, threads []int) error {
+func AblationThreadSwitch(r lab.Runner, w io.Writer, class core.Class, threads []int) error {
 	fmt.Fprintf(w, "Ablation — untied thread switching (the paper's §IV-C counterfactual)\n\n")
 	var all []Series
 	for _, pick := range []struct{ bench, version string }{
@@ -130,11 +129,13 @@ func AblationThreadSwitch(w io.Writer, class core.Class, threads []int) error {
 			return err
 		}
 		for _, ts := range []bool{false, true} {
-			p := sim.DefaultOverheads()
-			p.ThreadSwitch = ts
-			p.SwitchNS = 800 // a migrated continuation restarts cold
-			s, err := SpeedupSeries(b, pick.version, SeriesConfig{
-				Class: class, Threads: threads, Overheads: &p,
+			var over *lab.SimOverrides
+			if ts {
+				// A migrated continuation restarts cold.
+				over = &lab.SimOverrides{ThreadSwitch: true, SwitchNS: 800}
+			}
+			s, err := SpeedupSeries(r, b, pick.version, SeriesConfig{
+				Class: class, Threads: threads, Overheads: over,
 			})
 			if err != nil {
 				return err
@@ -154,7 +155,7 @@ func AblationThreadSwitch(w io.Writer, class core.Class, threads []int) error {
 // every operation serializes through one lock — a core implementation
 // decision the paper's §III motivation leaves to vendors. Fine-grained
 // benchmarks expose the collapse.
-func AblationQueueArch(w io.Writer, class core.Class, threads []int) error {
+func AblationQueueArch(r lab.Runner, w io.Writer, class core.Class, threads []int) error {
 	fmt.Fprintf(w, "Ablation — task-queue architecture (per-worker deques vs central queue)\n\n")
 	var all []Series
 	for _, pick := range []struct{ bench, version string }{
@@ -166,12 +167,12 @@ func AblationQueueArch(w io.Writer, class core.Class, threads []int) error {
 			return err
 		}
 		for _, central := range []bool{false, true} {
-			p := sim.DefaultOverheads()
+			var over *lab.SimOverrides
 			if central {
-				p.QueueSerializeNS = 120
+				over = &lab.SimOverrides{QueueSerializeNS: 120}
 			}
-			s, err := SpeedupSeries(b, pick.version, SeriesConfig{
-				Class: class, Threads: threads, Overheads: &p,
+			s, err := SpeedupSeries(r, b, pick.version, SeriesConfig{
+				Class: class, Threads: threads, Overheads: over,
 			})
 			if err != nil {
 				return err
@@ -192,7 +193,7 @@ func AblationQueueArch(w io.Writer, class core.Class, threads []int) error {
 // "Choosing a low cut-off value can restrict parallelism ... a high
 // cut-off value can saturate the system") on fib with the manual and
 // if-clause mechanisms at a fixed thread count.
-func AblationCutoffDepth(w io.Writer, class core.Class, threads int, depths []int) error {
+func AblationCutoffDepth(r lab.Runner, w io.Writer, class core.Class, threads int, depths []int) error {
 	b, err := core.Get("fib")
 	if err != nil {
 		return err
@@ -204,13 +205,13 @@ func AblationCutoffDepth(w io.Writer, class core.Class, threads int, depths []in
 	header := []string{"cut-off depth", "manual speedup", "manual tasks", "if-clause speedup", "if-clause tasks"}
 	var rows [][]string
 	for _, d := range depths {
-		man, err := SpeedupSeries(b, "manual-tied", SeriesConfig{
+		man, err := SpeedupSeries(r, b, "manual-tied", SeriesConfig{
 			Class: class, Threads: []int{threads}, CutoffDepth: d,
 		})
 		if err != nil {
 			return err
 		}
-		ifc, err := SpeedupSeries(b, "if-tied", SeriesConfig{
+		ifc, err := SpeedupSeries(r, b, "if-tied", SeriesConfig{
 			Class: class, Threads: []int{threads}, CutoffDepth: d,
 		})
 		if err != nil {
@@ -232,7 +233,7 @@ func AblationCutoffDepth(w io.Writer, class core.Class, threads int, depths []in
 // AblationPolicy compares the work-first (LIFO) and breadth-first
 // (FIFO) local queue disciplines (§IV-D's task-scheduling-policy
 // study) on a recursive and an iterative benchmark.
-func AblationPolicy(w io.Writer, class core.Class, threads []int) error {
+func AblationPolicy(r lab.Runner, w io.Writer, class core.Class, threads []int) error {
 	fmt.Fprintf(w, "Ablation — local scheduling policy (work-first vs breadth-first)\n\n")
 	var all []Series
 	for _, name := range []string{"sort", "sparselu"} {
@@ -241,7 +242,7 @@ func AblationPolicy(w io.Writer, class core.Class, threads []int) error {
 			return err
 		}
 		for _, bf := range []bool{false, true} {
-			s, err := SpeedupSeries(b, b.BestVersion, SeriesConfig{
+			s, err := SpeedupSeries(r, b, b.BestVersion, SeriesConfig{
 				Class: class, Threads: threads, BreadthFirst: bf,
 			})
 			if err != nil {
@@ -261,14 +262,14 @@ func AblationPolicy(w io.Writer, class core.Class, threads []int) error {
 
 // AblationGenerators compares SparseLU's single-generator and
 // multiple-generator (for worksharing) versions (§IV-D).
-func AblationGenerators(w io.Writer, class core.Class, threads []int) error {
+func AblationGenerators(r lab.Runner, w io.Writer, class core.Class, threads []int) error {
 	b, err := core.Get("sparselu")
 	if err != nil {
 		return err
 	}
 	var all []Series
 	for _, v := range b.Versions {
-		s, err := SpeedupSeries(b, v, SeriesConfig{Class: class, Threads: threads})
+		s, err := SpeedupSeries(r, b, v, SeriesConfig{Class: class, Threads: threads})
 		if err != nil {
 			return err
 		}

@@ -7,9 +7,26 @@ import (
 
 	_ "bots/internal/apps/all"
 	"bots/internal/core"
+	"bots/internal/lab"
 )
 
 var quickThreads = []int{1, 2, 4, 8}
+
+// testExec and testRunner are shared across the package's tests: an
+// in-memory store-backed cached runner, so repeated cells (the same
+// figure rendered by two tests) measure once.
+var (
+	testExec   = lab.NewDirectRunner()
+	testRunner = newTestRunner()
+)
+
+func newTestRunner() *lab.CachedRunner {
+	store, err := lab.OpenStore("")
+	if err != nil {
+		panic(err)
+	}
+	return lab.NewCachedRunner(store, testExec)
+}
 
 func TestTable1Renders(t *testing.T) {
 	var buf bytes.Buffer
@@ -27,7 +44,7 @@ func TestTable1Renders(t *testing.T) {
 
 func TestTable2Renders(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Table2(&buf, core.Test); err != nil {
+	if err := Table2(testRunner, &buf, core.Test); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -41,7 +58,7 @@ func TestTable2Renders(t *testing.T) {
 
 func TestProfileBenchmarkFib(t *testing.T) {
 	b, _ := core.Get("fib")
-	row, err := ProfileBenchmark(b, core.Test)
+	row, err := ProfileBenchmark(testRunner, b, core.Test)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +78,7 @@ func TestProfileBenchmarkFib(t *testing.T) {
 
 func TestSpeedupSeriesFibManual(t *testing.T) {
 	b, _ := core.Get("fib")
-	s, err := SpeedupSeries(b, "manual-tied", SeriesConfig{Class: core.Small, Threads: quickThreads})
+	s, err := SpeedupSeries(testRunner, b, "manual-tied", SeriesConfig{Class: core.Small, Threads: quickThreads})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +104,7 @@ func TestCutoffOrderingOnFib(t *testing.T) {
 	// no-cutoff version drowns in task-management overhead.
 	b, _ := core.Get("fib")
 	get := func(version string) float64 {
-		s, err := SpeedupSeries(b, version, SeriesConfig{Class: core.Small, Threads: []int{8}})
+		s, err := SpeedupSeries(testRunner, b, version, SeriesConfig{Class: core.Small, Threads: []int{8}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -109,7 +126,7 @@ func TestCutoffOrderingOnFib(t *testing.T) {
 
 func TestFig4Nqueens(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Fig4(&buf, core.Test, quickThreads); err != nil {
+	if err := Fig4(testRunner, &buf, core.Test, quickThreads); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -122,7 +139,7 @@ func TestFig4Nqueens(t *testing.T) {
 
 func TestFig5TiedUntied(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Fig5(&buf, core.Test, quickThreads); err != nil {
+	if err := Fig5(testRunner, &buf, core.Test, quickThreads); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "alignment (tied)") ||
@@ -133,7 +150,7 @@ func TestFig5TiedUntied(t *testing.T) {
 
 func TestAblationGenerators(t *testing.T) {
 	var buf bytes.Buffer
-	if err := AblationGenerators(&buf, core.Test, quickThreads); err != nil {
+	if err := AblationGenerators(testRunner, &buf, core.Test, quickThreads); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "single-tied") || !strings.Contains(buf.String(), "for-untied") {
@@ -143,7 +160,7 @@ func TestAblationGenerators(t *testing.T) {
 
 func TestAblationCutoffDepth(t *testing.T) {
 	var buf bytes.Buffer
-	if err := AblationCutoffDepth(&buf, core.Test, 4, []int{2, 6}); err != nil {
+	if err := AblationCutoffDepth(testRunner, &buf, core.Test, 4, []int{2, 6}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "cut-off depth") {
@@ -153,7 +170,7 @@ func TestAblationCutoffDepth(t *testing.T) {
 
 func TestAblationThreadSwitch(t *testing.T) {
 	var buf bytes.Buffer
-	if err := AblationThreadSwitch(&buf, core.Test, []int{1, 4}); err != nil {
+	if err := AblationThreadSwitch(testRunner, &buf, core.Test, []int{1, 4}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "+switch") {
@@ -163,7 +180,7 @@ func TestAblationThreadSwitch(t *testing.T) {
 
 func TestAblationQueueArch(t *testing.T) {
 	var buf bytes.Buffer
-	if err := AblationQueueArch(&buf, core.Test, []int{1, 8}); err != nil {
+	if err := AblationQueueArch(testRunner, &buf, core.Test, []int{1, 8}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "central-queue") {
@@ -173,7 +190,7 @@ func TestAblationQueueArch(t *testing.T) {
 
 func TestAblationPolicy(t *testing.T) {
 	var buf bytes.Buffer
-	if err := AblationPolicy(&buf, core.Test, []int{1, 4}); err != nil {
+	if err := AblationPolicy(testRunner, &buf, core.Test, []int{1, 4}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "breadth-first") {
@@ -186,7 +203,7 @@ func TestFig3AllApps(t *testing.T) {
 		t.Skip("short mode")
 	}
 	var buf bytes.Buffer
-	if err := Fig3(&buf, core.Test, quickThreads); err != nil {
+	if err := Fig3(testRunner, &buf, core.Test, quickThreads); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -197,7 +214,7 @@ func TestFig3AllApps(t *testing.T) {
 
 func TestTableAnalysis(t *testing.T) {
 	var buf bytes.Buffer
-	if err := TableAnalysis(&buf, core.Test); err != nil {
+	if err := TableAnalysis(testRunner, &buf, core.Test); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -215,11 +232,11 @@ func TestAnalyzeBenchmarkParallelismExplainsSaturation(t *testing.T) {
 	// why fft saturates first in the paper and in our reproduction.
 	fft, _ := core.Get("fft")
 	srt, _ := core.Get("sort")
-	aFft, err := AnalyzeBenchmark(fft, "untied", core.Test)
+	aFft, err := AnalyzeBenchmark(testRunner, fft, "untied", core.Test)
 	if err != nil {
 		t.Fatal(err)
 	}
-	aSort, err := AnalyzeBenchmark(srt, "untied", core.Test)
+	aSort, err := AnalyzeBenchmark(testRunner, srt, "untied", core.Test)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,17 +246,48 @@ func TestAnalyzeBenchmarkParallelismExplainsSaturation(t *testing.T) {
 	}
 }
 
-func TestBaselineCaching(t *testing.T) {
-	b, _ := core.Get("fib")
-	s1, err := Baseline(b, core.Test)
+// TestSecondRenderIsAllCacheHits is the store contract the report
+// layer is built on: rendering the same figure twice through one
+// cached runner must not execute a single benchmark the second time.
+func TestSecondRenderIsAllCacheHits(t *testing.T) {
+	store, err := lab.OpenStore("")
 	if err != nil {
 		t.Fatal(err)
 	}
-	s2, err := Baseline(b, core.Test)
-	if err != nil {
+	direct := lab.NewDirectRunner()
+	runner := lab.NewCachedRunner(store, direct)
+	var buf bytes.Buffer
+	if err := Fig4(runner, &buf, core.Test, []int{1, 2}); err != nil {
 		t.Fatal(err)
 	}
-	if s1 != s2 {
-		t.Error("Baseline should cache and return the same result")
+	first := direct.Exec.Executions()
+	if first == 0 {
+		t.Fatal("first render executed nothing")
+	}
+	buf.Reset()
+	if err := Fig4(runner, &buf, core.Test, []int{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := direct.Exec.Executions(); got != first {
+		t.Fatalf("second render executed %d benchmarks, want 0", got-first)
+	}
+	if runner.Hits() == 0 {
+		t.Fatal("second render produced no cache hits")
+	}
+}
+
+// TestRenderDispatch checks the name → artifact dispatch shared by
+// botsreport and the HTTP /report endpoint.
+func TestRenderDispatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Render(testRunner, &buf, "table1", core.Test, []int{1}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Table I") {
+		t.Error("dispatching table1 rendered something else")
+	}
+	err := Render(testRunner, &buf, "fig99", core.Test, []int{1})
+	if err == nil || !strings.Contains(err.Error(), "unknown report figure") {
+		t.Errorf("unknown figure error = %v", err)
 	}
 }

@@ -13,15 +13,20 @@
 // sequential run, exactly as the paper computes its speedups (with
 // Floorplan's nodes-per-second substitution handled by the invariant
 // node set of a recorded trace).
+//
+// Every experiment cell is requested through a lab.Runner, so a
+// store-backed runner turns repeated renders into pure cache reads
+// and a dispatcher-backed sweep can pre-populate the store; the
+// report layer itself never runs a benchmark.
 package report
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"bots/internal/core"
-	"bots/internal/omp"
-	"bots/internal/sim"
-	"bots/internal/trace"
+	"bots/internal/lab"
 )
 
 // PaperThreads is the thread axis of the paper's figures.
@@ -50,53 +55,45 @@ type SeriesConfig struct {
 	Threads []int
 	// CutoffDepth overrides the app depth cut-off (0 = default).
 	CutoffDepth int
-	// RuntimeCutoff is the runtime policy for the real recording run.
-	RuntimeCutoff omp.CutoffPolicy
-	// BreadthFirst switches the simulated local queue discipline.
+	// RuntimeCutoff is the runtime cut-off policy name for the real
+	// recording run: ""/"none", "maxtasks", "maxqueue", "adaptive".
+	RuntimeCutoff string
+	// BreadthFirst switches the scheduling policy (real runtime and
+	// simulated local queue discipline) to breadth-first.
 	BreadthFirst bool
-	// Overheads overrides the simulator cost model's task-management
-	// constants; zero-valued fields keep sim.DefaultOverheads.
-	Overheads *sim.Params
+	// Overheads optionally overrides the simulator cost-model knobs
+	// that are part of a cell's identity (thread switching, central
+	// queue); nil keeps sim.DefaultOverheads.
+	Overheads *lab.SimOverrides
 }
 
-// calibCache caches sequential baselines per (benchmark, class).
-var calibCache = map[string]*core.SeqResult{}
-
-// Baseline returns (and caches) the sequential reference for b/class.
-func Baseline(b *core.Benchmark, class core.Class) (*core.SeqResult, error) {
-	key := b.Name + "/" + class.String()
-	if r, ok := calibCache[key]; ok {
-		return r, nil
+// JobFor maps one point of a series onto its lab experiment cell.
+func JobFor(b *core.Benchmark, version string, threads int, cfg SeriesConfig) lab.JobSpec {
+	policy := ""
+	if cfg.BreadthFirst {
+		policy = "breadthfirst"
 	}
-	r, err := b.Seq(class)
-	if err != nil {
-		return nil, err
-	}
-	calibCache[key] = r
-	return r, nil
+	return lab.JobSpec{
+		Bench:         b.Name,
+		Version:       version,
+		Class:         cfg.Class.String(),
+		Threads:       threads,
+		CutoffDepth:   cfg.CutoffDepth,
+		RuntimeCutoff: cfg.RuntimeCutoff,
+		Policy:        policy,
+		Overheads:     cfg.Overheads,
+	}.Normalize()
 }
 
-// simParams assembles the simulator cost model for a benchmark: task
-// overheads (defaults or overrides), the benchmark's memory profile,
-// and the work-unit calibration from the sequential run.
-func simParams(b *core.Benchmark, seq *core.SeqResult, cfg SeriesConfig) sim.Params {
-	p := sim.DefaultOverheads()
-	if cfg.Overheads != nil {
-		p = *cfg.Overheads
-	}
-	p.WorkUnitNS = float64(seq.Elapsed.Nanoseconds()) / float64(seq.Work)
-	if p.WorkUnitNS <= 0 {
-		p.WorkUnitNS = 1
-	}
-	p.MemFraction = b.Profile.MemFraction
-	p.BandwidthCap = b.Profile.BandwidthCap
-	p.BreadthFirst = cfg.BreadthFirst
-	return p
-}
+// pointSem bounds concurrent cell executions requested by the report
+// layer, so rendering a figure fans its cells across the host without
+// oversubscribing it when the runner has to actually measure.
+var pointSem = make(chan struct{}, max(2, runtime.GOMAXPROCS(0)))
 
-// SpeedupSeries records and simulates one benchmark version across
-// the thread axis.
-func SpeedupSeries(b *core.Benchmark, version string, cfg SeriesConfig) (Series, error) {
+// SpeedupSeries obtains one benchmark version's speedup curve across
+// the thread axis from the runner. Points are requested concurrently;
+// with a cached runner, previously measured cells cost nothing.
+func SpeedupSeries(r lab.Runner, b *core.Benchmark, version string, cfg SeriesConfig) (Series, error) {
 	if !b.HasVersion(version) {
 		return Series{}, fmt.Errorf("report: %s has no version %q", b.Name, version)
 	}
@@ -104,42 +101,42 @@ func SpeedupSeries(b *core.Benchmark, version string, cfg SeriesConfig) (Series,
 	if threads == nil {
 		threads = PaperThreads
 	}
-	seq, err := Baseline(b, cfg.Class)
-	if err != nil {
-		return Series{}, err
+	s := Series{
+		Label:  fmt.Sprintf("%s (%s)", b.Name, version),
+		Points: make([]SeriesPoint, len(threads)),
 	}
-	params := simParams(b, seq, cfg)
-	s := Series{Label: fmt.Sprintf("%s (%s)", b.Name, version)}
-	for _, t := range threads {
-		rec := trace.NewRecorder()
-		res, err := b.Run(core.RunConfig{
-			Class:         cfg.Class,
-			Version:       version,
-			Threads:       t,
-			CutoffDepth:   cfg.CutoffDepth,
-			RuntimeCutoff: cfg.RuntimeCutoff,
-			Recorder:      rec,
-		})
+	errs := make([]error, len(threads))
+	var wg sync.WaitGroup
+	for i, t := range threads {
+		wg.Add(1)
+		go func(i, t int) {
+			defer wg.Done()
+			pointSem <- struct{}{}
+			defer func() { <-pointSem }()
+			rec, err := r.Run(JobFor(b, version, t, cfg))
+			if err != nil {
+				errs[i] = fmt.Errorf("report: %s/%s on %d threads: %w", b.Name, version, t, err)
+				return
+			}
+			if !rec.Verified {
+				errs[i] = fmt.Errorf("report: %s/%s on %d threads failed verification: %s",
+					b.Name, version, t, rec.VerifyError)
+				return
+			}
+			p := SeriesPoint{Threads: t, Tasks: rec.Tasks}
+			if rec.Sim != nil {
+				p.Speedup = rec.Sim.Speedup
+				p.Steals = rec.Sim.Steals
+				p.Parks = rec.Sim.Parks
+			}
+			s.Points[i] = p
+		}(i, t)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
-			return Series{}, fmt.Errorf("report: %s/%s on %d threads: %w", b.Name, version, t, err)
+			return Series{}, err
 		}
-		if err := b.Check(seq, res); err != nil {
-			return Series{}, fmt.Errorf("report: %s/%s on %d threads failed verification: %w",
-				b.Name, version, t, err)
-		}
-		tr := rec.Finish()
-		simRes, err := sim.Run(tr, t, params)
-		if err != nil {
-			return Series{}, fmt.Errorf("report: simulating %s/%s on %d threads: %w",
-				b.Name, version, t, err)
-		}
-		s.Points = append(s.Points, SeriesPoint{
-			Threads: t,
-			Speedup: simRes.Speedup,
-			Tasks:   tr.NumTasks(),
-			Steals:  simRes.Steals,
-			Parks:   simRes.Parks,
-		})
 	}
 	return s, nil
 }

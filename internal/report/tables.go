@@ -3,8 +3,10 @@ package report
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"bots/internal/core"
+	"bots/internal/lab"
 )
 
 // Table1 renders the application summary (paper Table I) from the
@@ -50,7 +52,7 @@ type Table2Row struct {
 // no-application-cut-off version provides the potential-task profile
 // (task counts, per-task operations, taskwaits, captured bytes,
 // write mix), mirroring the paper's profiled serial execution.
-func Table2(w io.Writer, class core.Class) error {
+func Table2(r lab.Runner, w io.Writer, class core.Class) error {
 	fmt.Fprintf(w, "Table II — application characteristics (%s input class)\n\n", class)
 	header := []string{
 		"Application", "Serial time", "Memory", "#tasks",
@@ -59,7 +61,7 @@ func Table2(w io.Writer, class core.Class) error {
 	}
 	var rows [][]string
 	for _, b := range core.Paper() {
-		row, err := ProfileBenchmark(b, class)
+		row, err := ProfileBenchmark(r, b, class)
 		if err != nil {
 			return err
 		}
@@ -85,23 +87,22 @@ func Table2(w io.Writer, class core.Class) error {
 	return nil
 }
 
-// ProfileBenchmark computes one Table II row.
-func ProfileBenchmark(b *core.Benchmark, class core.Class) (Table2Row, error) {
-	seq, err := Baseline(b, class)
-	if err != nil {
-		return Table2Row{}, err
-	}
+// ProfileBenchmark computes one Table II row from the benchmark's
+// single-thread potential-task profile cell.
+func ProfileBenchmark(r lab.Runner, b *core.Benchmark, class core.Class) (Table2Row, error) {
 	version := profileVersion(b)
-	res, err := b.Run(core.RunConfig{Class: class, Version: version, Threads: 1})
+	rec, err := r.Run(lab.JobSpec{
+		Bench: b.Name, Version: version, Class: class.String(), Threads: 1,
+	})
 	if err != nil {
 		return Table2Row{}, fmt.Errorf("report: profiling %s/%s: %w", b.Name, version, err)
 	}
-	st := res.Stats
+	st := rec.Stats
 	tasks := st.TotalTasks()
 	row := Table2Row{
 		Name:       b.Name,
-		SerialTime: seq.Elapsed.String(),
-		MemBytes:   seq.MemBytes,
+		SerialTime: time.Duration(rec.Seq.ElapsedNS).String(),
+		MemBytes:   rec.Seq.MemBytes,
 		Tasks:      tasks,
 	}
 	if tasks > 0 {

@@ -155,3 +155,62 @@ func TestValidateRejectsBadDeps(t *testing.T) {
 		t.Error("Validate accepted a cross-parent dependence")
 	}
 }
+
+// TestCriticalPathFoldsDiamondDeps is the dep-folding regression
+// test: on the diamond A → {B, C} → D the critical path must thread
+// the dependence edges (A's completion gates B and C, whose
+// completions gate D), not just the spawn tree.
+func TestCriticalPathFoldsDiamondDeps(t *testing.T) {
+	tr := buildDepTrace(t)
+	// Absolute schedule on infinitely many threads: root works 4,
+	// spawning A/B/C/D at t=4. A runs 4→14; B and C wait for A and
+	// run 14→19; D waits for both and runs 19→26.
+	if got := tr.CriticalPath(); got != 26 {
+		t.Fatalf("diamond critical path = %d, want 26 (4 +10 +5 +7 through the dep chain)", got)
+	}
+	// Sanity: without deps the same spawn tree has span 14 (root's 4
+	// + the longest child, A's 10).
+	noDeps := *tr
+	noDeps.Tasks = append([]Task(nil), tr.Tasks...)
+	for i := range noDeps.Tasks {
+		noDeps.Tasks[i].Deps = nil
+	}
+	if got := noDeps.CriticalPath(); got != 14 {
+		t.Fatalf("dep-stripped diamond critical path = %d, want 14", got)
+	}
+	// The analysis layer sees the folded span too.
+	a := Analyze(tr)
+	if a.Span != 26 {
+		t.Fatalf("Analyze span = %d, want 26", a.Span)
+	}
+	if want := float64(4+10+5+5+7) / 26; a.Parallelism < want-0.01 || a.Parallelism > want+0.01 {
+		t.Fatalf("Analyze parallelism = %v, want %v", a.Parallelism, want)
+	}
+}
+
+// TestCriticalPathDepChain pins the fully serial dependence chain:
+// back-to-back spawned siblings linked T1 → T2 → ... → T5 must
+// serialize end to end even though no taskwait orders them.
+func TestCriticalPathDepChain(t *testing.T) {
+	r := NewRecorder()
+	root := r.Root()
+	var prev *Node
+	for i := 0; i < 5; i++ {
+		n := r.Spawn(root, false, false, 0)
+		n.AddWork(3)
+		if prev != nil {
+			n.DependsOn(prev)
+		}
+		prev = n
+	}
+	tr := r.Finish()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.CriticalPath(); got != 15 {
+		t.Fatalf("dep-chain critical path = %d, want 15", got)
+	}
+	if a := Analyze(tr); a.Parallelism > 1.01 {
+		t.Fatalf("dep-chain parallelism = %v, want ≈ 1", a.Parallelism)
+	}
+}

@@ -141,8 +141,9 @@ func (tr *Trace) NumTaskwaits() int64 {
 }
 
 // CriticalPath returns the length, in work units, of the longest
-// chain of spawn/taskwait constraints in the trace: the minimum
-// possible makespan on infinitely many threads with zero overheads.
+// chain of spawn/taskwait/dependence constraints in the trace: the
+// minimum possible makespan on infinitely many threads with zero
+// overheads.
 //
 // Two completion notions matter (and differ, per OpenMP semantics):
 // a taskwait joins only on the *own* completion of direct children —
@@ -150,55 +151,62 @@ func (tr *Trace) NumTaskwaits() int64 {
 // — while the region (and hence the critical path) is bounded by the
 // *subtree* completion of every task.
 //
-// Dependence edges (Task.Deps) are not folded into the chain: they
-// only add ordering constraints, so for dep-driven traces the value
-// is a lower bound on the true critical path (and Work/CriticalPath
-// an upper bound on available parallelism). The simulator, which
-// replays dependences exactly, is the reference for dep-driven
-// makespans.
+// Dependence edges (Task.Deps) are folded in: a task with
+// predecessors cannot start before the *own* completion of every
+// predecessor (the runtime and the simulator release a held task on
+// its last predecessor's completion), so dep-driven traces
+// (sparselu/dep-*) report their true span, not the spawn-tree lower
+// bound. The computation walks the graph in absolute time: each
+// task's earliest start is the later of its spawn point and its
+// predecessors' finishes, and because predecessors are always
+// earlier-created siblings (Validate), the parent's event walk
+// reaches them first.
 func (tr *Trace) CriticalPath() int64 {
 	type span struct {
-		own  int64 // task start → its own completion
-		full int64 // task start → completion of its entire subtree
+		own  int64 // absolute time of the task's own completion
+		full int64 // absolute time its entire subtree completes
 	}
-	memo := make([]span, len(tr.Tasks))
-	done := make([]bool, len(tr.Tasks))
-	var finish func(id int32) span
-	finish = func(id int32) span {
-		if done[id] {
-			return memo[id]
-		}
+	fin := make([]span, len(tr.Tasks))
+	var eval func(id int32, start int64) span
+	eval = func(id int32, start int64) span {
 		t := &tr.Tasks[id]
-		type pending struct {
-			at    int64 // task-relative spawn time
-			child int32
-		}
-		var pend []pending
-		cursor := int64(0)
+		var pend []int32
+		cursor := start
 		workDone := int64(0)
 		full := int64(0)
+		// depStart delays a child past the own-completion of its
+		// dependence predecessors, all evaluated earlier in this walk.
+		depStart := func(child int32, at int64) int64 {
+			for _, d := range tr.Tasks[child].Deps {
+				if f := fin[d].own; f > at {
+					at = f
+				}
+			}
+			return at
+		}
 		for _, e := range t.Events {
 			cursor += e.At - workDone
 			workDone = e.At
 			switch e.Kind {
 			case EvSpawn:
-				s := finish(e.Child)
-				pend = append(pend, pending{cursor, e.Child})
-				if f := cursor + s.full; f > full {
-					full = f
+				s := eval(e.Child, depStart(e.Child, cursor))
+				pend = append(pend, e.Child)
+				if s.full > full {
+					full = s.full
 				}
 			case EvSpawnInline:
 				// Undeferred child executes inline to its own
-				// completion; its unawaited descendants overhang.
-				s := finish(e.Child)
-				if f := cursor + s.full; f > full {
-					full = f
+				// completion (after its own dependences are met);
+				// its unawaited descendants overhang.
+				s := eval(e.Child, depStart(e.Child, cursor))
+				if s.full > full {
+					full = s.full
 				}
-				cursor += s.own
+				cursor = s.own
 			case EvTaskwait:
-				for _, p := range pend {
-					if f := p.at + memo[p.child].own; f > cursor {
-						cursor = f
+				for _, c := range pend {
+					if fin[c].own > cursor {
+						cursor = fin[c].own
 					}
 				}
 				pend = pend[:0]
@@ -208,13 +216,12 @@ func (tr *Trace) CriticalPath() int64 {
 		if cursor > full {
 			full = cursor
 		}
-		memo[id] = span{own: cursor, full: full}
-		done[id] = true
-		return memo[id]
+		fin[id] = span{own: cursor, full: full}
+		return fin[id]
 	}
 	var cp int64
 	for r := 0; r < tr.NumRoots; r++ {
-		if s := finish(int32(r)); s.full > cp {
+		if s := eval(int32(r), 0); s.full > cp {
 			cp = s.full
 		}
 	}
