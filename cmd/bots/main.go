@@ -11,6 +11,7 @@
 //	bots -bench sort -class medium -version untied -threads 4
 //	bots -bench nqueens -version manual-untied -cutoff 5 -verify=false
 //	bots -bench fib -version none-tied -runtime-cutoff maxtasks
+//	bots -bench sort -class small -threads 8 -policy centralized
 //	bots -bench sparselu -version for-tied -simulate 32
 //	bots -bench sparselu -version dep-tied -class medium
 //	bots -bench strassen -version future-untied -threads 8
@@ -40,8 +41,8 @@ func main() {
 		version   = flag.String("version", "", "version to run (default: the benchmark's best version)")
 		threads   = flag.Int("threads", 4, "team size")
 		cutoff    = flag.Int("cutoff", 0, "application depth cut-off override (0 = default)")
-		rtCutoff  = flag.String("runtime-cutoff", "none", "runtime cut-off: none/maxtasks/maxqueue/adaptive")
-		policy    = flag.String("policy", "workfirst", "local scheduling policy: workfirst/breadthfirst")
+		rtCutoff  = flag.String("runtime-cutoff", "none", "runtime cut-off: "+strings.Join(omp.Cutoffs(), "/"))
+		policy    = flag.String("policy", "workfirst", "task scheduler: "+strings.Join(omp.Schedulers(), "/"))
 		verify    = flag.Bool("verify", true, "run the sequential reference and verify the parallel result")
 		simulate  = flag.Int("simulate", 0, "also record a task graph and simulate this many virtual threads (0 = off)")
 		jsonOut   = flag.Bool("json", false, "run the full lab pipeline (seq reference + verify + simulate; -simulate 0 means the recording team size) and emit the machine-readable lab Record instead of text")
@@ -113,25 +114,15 @@ func main() {
 		Version:     v,
 		Threads:     *threads,
 		CutoffDepth: *cutoff,
+		Scheduler:   *policy,
 	}
-	switch *rtCutoff {
-	case "none", "":
-	case "maxtasks":
-		cfg.RuntimeCutoff = omp.MaxTasks{}
-	case "maxqueue":
-		cfg.RuntimeCutoff = omp.MaxQueue{}
-	case "adaptive":
-		cfg.RuntimeCutoff = omp.Adaptive{}
-	default:
-		fatal(fmt.Errorf("unknown -runtime-cutoff %q", *rtCutoff))
-	}
-	switch *policy {
-	case "workfirst", "":
-	case "breadthfirst":
-		cfg.Policy = omp.BreadthFirst
-	default:
-		fatal(fmt.Errorf("unknown -policy %q", *policy))
-	}
+	// Both name vocabularies resolve through the omp registries, the
+	// same single source of truth lab manifests validate against.
+	rc, err := omp.NewCutoff(*rtCutoff)
+	fatal(err)
+	cfg.RuntimeCutoff = rc
+	_, err = omp.NewScheduler(*policy)
+	fatal(err)
 
 	var seq *core.SeqResult
 	if *verify || *simulate > 0 {
@@ -170,6 +161,7 @@ func main() {
 		p.WorkUnitNS = float64(seq.Elapsed.Nanoseconds()) / float64(seq.Work)
 		p.MemFraction = b.Profile.MemFraction
 		p.BandwidthCap = b.Profile.BandwidthCap
+		p.Scheduler = *policy // replay under the matching queue discipline
 		r, err := sim.Run(tr, *simulate, p)
 		fatal(err)
 		fmt.Printf("  simulated on %d virtual threads: %s\n", *simulate, r)

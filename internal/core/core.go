@@ -74,15 +74,18 @@ type RunConfig struct {
 	// omp.NoCutoff — the paper's "no-cutoff" configuration relies on
 	// whatever the runtime does, which by default is nothing).
 	RuntimeCutoff omp.CutoffPolicy
-	// Policy is the local scheduling policy.
-	Policy omp.Policy
+	// Scheduler is the task scheduler's registry name (one of
+	// omp.Schedulers(); "" selects omp.DefaultScheduler). Callers
+	// validate user input through omp.NewScheduler before building a
+	// RunConfig — TeamOpts panics on unknown names.
+	Scheduler string
 	// Recorder, when non-nil, records the task graph for simulation.
 	Recorder *trace.Recorder
 }
 
 // TeamOpts assembles the omp options for this configuration.
 func (cfg *RunConfig) TeamOpts() []omp.TeamOpt {
-	opts := []omp.TeamOpt{omp.WithPolicy(cfg.Policy)}
+	opts := []omp.TeamOpt{omp.WithScheduler(cfg.Scheduler)}
 	if cfg.RuntimeCutoff != nil {
 		opts = append(opts, omp.WithCutoff(cfg.RuntimeCutoff))
 	}

@@ -176,11 +176,11 @@ func TestTeamOptsAssembly(t *testing.T) {
 	cfg := RunConfig{
 		Threads:       2,
 		RuntimeCutoff: omp.MaxTasks{Limit: 4},
-		Policy:        omp.BreadthFirst,
+		Scheduler:     "breadthfirst",
 	}
 	opts := cfg.TeamOpts()
 	if len(opts) != 2 {
-		t.Fatalf("TeamOpts = %d options, want 2 (policy + cutoff)", len(opts))
+		t.Fatalf("TeamOpts = %d options, want 2 (scheduler + cutoff)", len(opts))
 	}
 	// The options must be applicable without panicking.
 	omp.Parallel(1, func(c *omp.Context) {}, opts...)

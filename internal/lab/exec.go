@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"bots/internal/core"
+	"bots/internal/omp"
 	"bots/internal/sim"
 	"bots/internal/trace"
 )
@@ -85,7 +86,7 @@ func simParams(b *core.Benchmark, seq *core.SeqResult, spec JobSpec) sim.Params 
 	}
 	p.MemFraction = b.Profile.MemFraction
 	p.BandwidthCap = b.Profile.BandwidthCap
-	p.BreadthFirst = spec.Policy == "breadthfirst"
+	p.Scheduler = spec.Policy
 	return p
 }
 
@@ -112,11 +113,7 @@ func (e *Executor) Execute(spec JobSpec) (*Record, error) {
 	if err != nil {
 		return nil, err
 	}
-	rtCutoff, err := parseRuntimeCutoff(spec.RuntimeCutoff)
-	if err != nil {
-		return nil, err
-	}
-	policy, err := parsePolicy(spec.Policy)
+	rtCutoff, err := omp.NewCutoff(spec.RuntimeCutoff)
 	if err != nil {
 		return nil, err
 	}
@@ -135,7 +132,7 @@ func (e *Executor) Execute(spec JobSpec) (*Record, error) {
 		Threads:       spec.Threads,
 		CutoffDepth:   spec.CutoffDepth,
 		RuntimeCutoff: rtCutoff,
-		Policy:        policy,
+		Scheduler:     spec.Policy,
 		Recorder:      rec,
 	})
 	e.quiet.RUnlock()

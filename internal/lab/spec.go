@@ -55,12 +55,13 @@ type JobSpec struct {
 	// CutoffDepth overrides the application depth cut-off (0 = app
 	// default).
 	CutoffDepth int `json:"cutoff_depth,omitempty"`
-	// RuntimeCutoff is the runtime cut-off policy name:
-	// none/maxtasks/maxqueue/adaptive ("" = none).
+	// RuntimeCutoff is the runtime cut-off policy name, resolved
+	// against the omp registry (omp.Cutoffs(); "" = none).
 	RuntimeCutoff string `json:"runtime_cutoff,omitempty"`
-	// Policy is the local scheduling policy: workfirst/breadthfirst
-	// ("" = workfirst). It selects both the real runtime policy and
-	// the simulator's local queue discipline.
+	// Policy is the scheduler's registry name (omp.Schedulers():
+	// workfirst/breadthfirst/centralized/locality; "" = workfirst).
+	// It selects both the real runtime scheduler and the simulator's
+	// matching queue discipline.
 	Policy string `json:"policy,omitempty"`
 	// Simulate is the simulated (virtual) team size; 0 means Threads.
 	Simulate int `json:"simulate,omitempty"`
@@ -78,7 +79,7 @@ func (j JobSpec) Normalize() JobSpec {
 	if j.RuntimeCutoff == "none" {
 		j.RuntimeCutoff = ""
 	}
-	if j.Policy == "workfirst" {
+	if j.Policy == omp.DefaultScheduler {
 		j.Policy = ""
 	}
 	if j.Overheads.zero() {
@@ -136,37 +137,14 @@ func (j JobSpec) Validate() error {
 	if j.CutoffDepth < 0 {
 		return fmt.Errorf("lab: job %s/%s has negative cut-off depth %d", j.Bench, j.Version, j.CutoffDepth)
 	}
-	if _, err := parseRuntimeCutoff(j.RuntimeCutoff); err != nil {
+	// Name vocabularies have one source of truth: the omp registries.
+	if _, err := omp.NewCutoff(j.RuntimeCutoff); err != nil {
 		return err
 	}
-	if _, err := parsePolicy(j.Policy); err != nil {
+	if _, err := omp.NewScheduler(j.Policy); err != nil {
 		return err
 	}
 	return nil
-}
-
-func parseRuntimeCutoff(name string) (omp.CutoffPolicy, error) {
-	switch name {
-	case "", "none":
-		return nil, nil
-	case "maxtasks":
-		return omp.MaxTasks{}, nil
-	case "maxqueue":
-		return omp.MaxQueue{}, nil
-	case "adaptive":
-		return omp.Adaptive{}, nil
-	}
-	return nil, fmt.Errorf("lab: unknown runtime cut-off %q (want none/maxtasks/maxqueue/adaptive)", name)
-}
-
-func parsePolicy(name string) (omp.Policy, error) {
-	switch name {
-	case "", "workfirst":
-		return omp.WorkFirst, nil
-	case "breadthfirst":
-		return omp.BreadthFirst, nil
-	}
-	return 0, fmt.Errorf("lab: unknown policy %q (want workfirst/breadthfirst)", name)
 }
 
 // SweepSpec is a declarative manifest describing a grid of experiment
@@ -192,9 +170,11 @@ type SweepSpec struct {
 	// CutoffDepths is the application cut-off axis (0 = app default).
 	// Empty means [0].
 	CutoffDepths []int `json:"cutoff_depths,omitempty"`
-	// RuntimeCutoffs is the runtime cut-off axis. Empty means ["none"].
+	// RuntimeCutoffs is the runtime cut-off axis (omp.Cutoffs()
+	// names). Empty means ["none"].
 	RuntimeCutoffs []string `json:"runtime_cutoffs,omitempty"`
-	// Policies is the scheduling-policy axis. Empty means ["workfirst"].
+	// Policies is the scheduler axis (omp.Schedulers() names). Empty
+	// means ["workfirst"].
 	Policies []string `json:"policies,omitempty"`
 	// Simulate is the virtual-team-size axis (0 = same as threads).
 	// Empty means [0].

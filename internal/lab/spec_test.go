@@ -7,6 +7,7 @@ import (
 	_ "bots/internal/apps/all"
 	"bots/internal/core"
 	"bots/internal/lab"
+	"bots/internal/omp"
 )
 
 func TestExpandGolden(t *testing.T) {
@@ -146,6 +147,45 @@ func TestKeyCanonicalization(t *testing.T) {
 			t.Errorf("spec %d aliases spec %d: %+v", i, prev, s)
 		}
 		seen[k] = i
+	}
+}
+
+// TestPolicyAxisSweep sweeps the full scheduler axis end to end: the
+// manifest expands to one cell per registered scheduler with distinct
+// canonical keys, and every cell runs the real pipeline (record +
+// verify + simulate) successfully.
+func TestPolicyAxisSweep(t *testing.T) {
+	spec := lab.SweepSpec{
+		Benches:  []string{"fib"},
+		Versions: []string{"manual-tied"},
+		Classes:  []string{"test"},
+		Threads:  []int{2},
+		Policies: omp.Schedulers(),
+	}
+	jobs, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != len(omp.Schedulers()) {
+		t.Fatalf("policy axis expanded to %d cells, want %d", len(jobs), len(omp.Schedulers()))
+	}
+	keys := map[string]string{}
+	runner := lab.NewDirectRunner()
+	for _, j := range jobs {
+		if prev, dup := keys[j.Key()]; dup {
+			t.Fatalf("policy %q aliases %q: same canonical key", j.Policy, prev)
+		}
+		keys[j.Key()] = j.Policy
+		rec, err := runner.Run(j)
+		if err != nil {
+			t.Fatalf("policy %q: %v", j.Policy, err)
+		}
+		if !rec.Verified {
+			t.Fatalf("policy %q failed verification: %s", j.Policy, rec.VerifyError)
+		}
+		if rec.Sim == nil || rec.Sim.Speedup <= 0 {
+			t.Fatalf("policy %q: missing simulated replay in record", j.Policy)
+		}
 	}
 }
 

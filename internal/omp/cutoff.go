@@ -1,6 +1,11 @@
 package omp
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
 
 // CutoffPolicy is a runtime task-creation cut-off: when Defer returns
 // false, a would-be deferred task is executed immediately on the
@@ -98,6 +103,63 @@ type Adaptive struct {
 	// LowWater and HighWater bound the local queue depth between
 	// which the policy flips. Zeros mean 4 and 64.
 	LowWater, HighWater int64
+}
+
+// Cut-off name registry: the single vocabulary every layer (lab
+// manifests, CLI flags) resolves runtime cut-off names against, so
+// valid names and error messages have one source of truth — the same
+// arrangement the Scheduler registry provides for scheduler names.
+
+var (
+	cutoffMu  sync.RWMutex
+	cutoffReg = map[string]func() CutoffPolicy{
+		"none":     func() CutoffPolicy { return NoCutoff{} },
+		"maxtasks": func() CutoffPolicy { return MaxTasks{} },
+		"maxqueue": func() CutoffPolicy { return MaxQueue{} },
+		"adaptive": func() CutoffPolicy { return Adaptive{} },
+	}
+)
+
+// RegisterCutoff adds a cut-off constructor under name (panics on
+// empty or duplicate names), for policies defined outside this
+// package.
+func RegisterCutoff(name string, ctor func() CutoffPolicy) {
+	if name == "" || ctor == nil {
+		panic("omp: invalid cutoff registration")
+	}
+	cutoffMu.Lock()
+	defer cutoffMu.Unlock()
+	if _, dup := cutoffReg[name]; dup {
+		panic(fmt.Sprintf("omp: duplicate cutoff %q", name))
+	}
+	cutoffReg[name] = ctor
+}
+
+// Cutoffs returns the sorted names of every registered cut-off.
+func Cutoffs() []string {
+	cutoffMu.RLock()
+	defer cutoffMu.RUnlock()
+	names := make([]string, 0, len(cutoffReg))
+	for n := range cutoffReg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NewCutoff returns a default-parameterized instance of the named
+// cut-off policy; the empty name means "none".
+func NewCutoff(name string) (CutoffPolicy, error) {
+	if name == "" {
+		name = "none"
+	}
+	cutoffMu.RLock()
+	ctor := cutoffReg[name]
+	cutoffMu.RUnlock()
+	if ctor == nil {
+		return nil, fmt.Errorf("omp: unknown runtime cut-off %q (have %s)", name, strings.Join(Cutoffs(), "/"))
+	}
+	return ctor(), nil
 }
 
 // Defer implements CutoffPolicy.

@@ -208,20 +208,14 @@ func (w *worker) enqueueReleased(t *task) {
 	}
 }
 
-// enqueue pushes a ready task on w's queues: the priority queue when
-// the task carries a non-zero priority, the work-stealing deque
-// otherwise. Owner-side only (w must be the calling worker).
+// enqueue hands a ready task to the team's scheduler on behalf of w.
+// Owner-side only (w must be the calling worker).
 func (w *worker) enqueue(t *task) {
-	if t.priority != 0 {
-		w.pq.push(t)
-	} else {
-		w.dq.pushBottom(t)
-	}
+	w.team.sched.Push(w.id, t)
 }
 
-// queued returns the worker's total ready backlog across both queues
-// — what queue-depth-based cut-off policies must see, or prioritized
-// tasks would be invisible to them.
+// queued returns the worker's ready backlog as the scheduler reports
+// it — what queue-depth-based cut-off policies must see.
 func (w *worker) queued() int64 {
-	return w.dq.size() + w.pq.size()
+	return w.team.sched.Queued(w.id)
 }

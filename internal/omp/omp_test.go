@@ -156,7 +156,7 @@ func TestBreadthFirstPolicy(t *testing.T) {
 		c.Single(func(c *Context) {
 			c.Task(func(c *Context) { parFib(c, 15, &got) })
 		})
-	}, WithPolicy(BreadthFirst))
+	}, WithScheduler("breadthfirst"))
 	if want := fibSeq(15); got != want {
 		t.Fatalf("fib(15) breadth-first = %d, want %d", got, want)
 	}
@@ -459,14 +459,11 @@ func TestZeroAndOneThreadTeams(t *testing.T) {
 	}
 }
 
-func TestPolicyAndScheduleStrings(t *testing.T) {
-	if WorkFirst.String() != "work-first" || BreadthFirst.String() != "breadth-first" {
-		t.Fatal("Policy.String mismatch")
-	}
+func TestScheduleStrings(t *testing.T) {
 	if Static.String() != "static" || Dynamic.String() != "dynamic" || Guided.String() != "guided" {
 		t.Fatal("Schedule.String mismatch")
 	}
-	if Policy(99).String() != "unknown" || Schedule(99).String() != "unknown" {
+	if Schedule(99).String() != "unknown" {
 		t.Fatal("unknown enums should stringify to unknown")
 	}
 }

@@ -25,8 +25,9 @@ type prioItem struct {
 	seq uint64
 }
 
-// push appends a task; callable from the owning worker only (like
-// pushBottom), but take may race with it from any goroutine.
+// push appends a task. Both push and take are mutex-guarded, so
+// either may be called from any goroutine (the centralized scheduler
+// shares one prioQueue across the whole team).
 func (q *prioQueue) push(t *task) {
 	q.mu.Lock()
 	q.items = append(q.items, prioItem{t: t, seq: q.seq})

@@ -1,0 +1,377 @@
+package omp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Scheduler is the pluggable task-placement engine of one team: every
+// decision about where a ready task is queued and which ready task a
+// worker consumes or steals next lives behind this interface. The
+// BOTS paper evaluates the same task graphs under different runtime
+// scheduler configurations (work-first vs breadth-first local order,
+// centralized vs distributed queues); making the scheduler a named,
+// registered object turns that axis — and anything beyond it, like
+// NUMA- or load-adaptive placement — into a sweepable dimension.
+//
+// A Scheduler instance belongs to exactly one parallel region. The
+// team calls the lifecycle hooks Init (before any worker runs) and
+// Fini (after the final barrier, with all queues drained); the
+// per-worker operations identify the calling worker by its team slot.
+//
+// Contract (verified by the conformance suite in
+// sched_conformance_test.go against every registered scheduler):
+//
+//   - Push(self, t) is called only by the worker occupying slot self
+//     (task creation and dependence release are owner-side
+//     operations), but the pushed task may be consumed by any worker.
+//   - PopLocal/Steal with a non-nil pred must never return a task
+//     rejected by pred. pred is a pure function of the task and may
+//     be called on tasks that are not ultimately returned.
+//   - Progress rule: a worker suspended in a tied task calls
+//     PopLocal with a pred accepting only descendants. Its unstarted
+//     children are its own most recent pushes, so a scheduler with
+//     per-worker local order must serve a constrained PopLocal from
+//     the newest-first (LIFO) end — with FIFO consumption those
+//     children could sit buried behind non-descendants and every
+//     worker could park with runnable tasks queued. Pool schedulers
+//     must instead scan for an admissible task.
+//   - Queued(self) is the ready backlog cut-off policies see; for
+//     pool schedulers it is the shared backlog.
+type Scheduler interface {
+	// Name returns the scheduler's registry name.
+	Name() string
+	// Init sizes the scheduler for a team of n workers. It is called
+	// exactly once, before any worker starts.
+	Init(n int)
+	// Push makes t runnable on behalf of the worker in slot self.
+	Push(self int, t *task)
+	// PopLocal returns the next task from self's local queue area (or
+	// from the shared pool, for pool schedulers), honouring pred, or
+	// nil when nothing admissible is locally available.
+	PopLocal(self int, pred func(*task) bool) *task
+	// Steal takes a task queued on behalf of some other worker,
+	// honouring pred, or returns nil. Pool schedulers with no
+	// per-worker queues may always return nil.
+	Steal(self int, pred func(*task) bool) *task
+	// Queued reports self's ready backlog, as seen by queue-depth
+	// cut-off policies.
+	Queued(self int) int64
+	// Fini is the region-end lifecycle hook, called once after the
+	// final barrier with every queue drained.
+	Fini()
+}
+
+// DefaultScheduler is the registry name selected by an empty
+// scheduler name everywhere (team option, core config, lab specs,
+// CLI flags).
+const DefaultScheduler = "workfirst"
+
+var (
+	schedMu  sync.RWMutex
+	schedReg = map[string]func() Scheduler{}
+)
+
+// RegisterScheduler adds a scheduler constructor under name. The
+// constructor returns a fresh, un-Init-ed instance per call (one per
+// parallel region). It panics on empty or duplicate names; it is
+// meant to be called from init functions.
+func RegisterScheduler(name string, ctor func() Scheduler) {
+	if name == "" || ctor == nil {
+		panic("omp: invalid scheduler registration")
+	}
+	schedMu.Lock()
+	defer schedMu.Unlock()
+	if _, dup := schedReg[name]; dup {
+		panic(fmt.Sprintf("omp: duplicate scheduler %q", name))
+	}
+	schedReg[name] = ctor
+}
+
+// Schedulers returns the sorted names of every registered scheduler —
+// the single vocabulary CLI flags, lab manifests and reports validate
+// against.
+func Schedulers() []string {
+	schedMu.RLock()
+	defer schedMu.RUnlock()
+	names := make([]string, 0, len(schedReg))
+	for n := range schedReg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NewScheduler returns a fresh instance of the named scheduler. The
+// empty name selects DefaultScheduler. Unknown names error with the
+// full registered vocabulary, so every layer that resolves a
+// scheduler name reports the same message.
+func NewScheduler(name string) (Scheduler, error) {
+	if name == "" {
+		name = DefaultScheduler
+	}
+	schedMu.RLock()
+	ctor := schedReg[name]
+	schedMu.RUnlock()
+	if ctor == nil {
+		return nil, fmt.Errorf("omp: unknown scheduler %q (have %s)", name, strings.Join(Schedulers(), "/"))
+	}
+	return ctor(), nil
+}
+
+func init() {
+	RegisterScheduler("workfirst", func() Scheduler {
+		return &dequeScheduler{name: "workfirst"}
+	})
+	RegisterScheduler("breadthfirst", func() Scheduler {
+		return &dequeScheduler{name: "breadthfirst", fifoLocal: true}
+	})
+	RegisterScheduler("locality", func() Scheduler {
+		return &dequeScheduler{name: "locality", stealHalf: true, affinity: true}
+	})
+	RegisterScheduler("centralized", func() Scheduler {
+		return &centralScheduler{}
+	})
+}
+
+// dequeScheduler is the distributed-queue scheduler family: one
+// Chase–Lev deque plus one priority queue per worker. Three of the
+// registered schedulers are configurations of it:
+//
+//   - workfirst: the owner pops its own deque LIFO (depth-first), the
+//     classic work-stealing discipline; thieves steal FIFO from the
+//     top, taking the shallowest (largest) subtrees.
+//   - breadthfirst: the owner consumes its own deque FIFO as well, so
+//     tasks execute roughly in creation order.
+//   - locality: work-first local order plus affinity stealing — a
+//     thief returns to its last successful victim before sweeping,
+//     and an unconstrained steal takes half the victim's backlog in
+//     one raid (steal-half), amortizing steal traffic and keeping
+//     related subtrees on one worker.
+type dequeScheduler struct {
+	name      string
+	fifoLocal bool // own-queue FIFO when unconstrained (breadthfirst)
+	stealHalf bool // bulk-steal half the victim's backlog (locality)
+	affinity  bool // retry the last successful victim first (locality)
+	ws        []schedSlot
+}
+
+// schedSlot is one worker's queue state, padded so owner-written
+// fields of adjacent slots do not share a cache line.
+type schedSlot struct {
+	dq         *deque
+	pq         *prioQueue
+	rng        uint64 // victim-selection PRNG state, owner-only
+	lastVictim int    // last successful steal victim, owner-only
+	_          [24]byte
+}
+
+func (d *dequeScheduler) Name() string { return d.name }
+
+func (d *dequeScheduler) Init(n int) {
+	d.ws = make([]schedSlot, n)
+	for i := range d.ws {
+		d.ws[i] = schedSlot{
+			dq:         newDeque(),
+			pq:         &prioQueue{},
+			rng:        uint64(i)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d,
+			lastVictim: -1,
+		}
+	}
+}
+
+func (d *dequeScheduler) Fini() {}
+
+func (d *dequeScheduler) Push(self int, t *task) {
+	s := &d.ws[self]
+	if t.priority != 0 {
+		s.pq.push(t)
+		return
+	}
+	s.dq.pushBottom(t)
+}
+
+func (d *dequeScheduler) PopLocal(self int, pred func(*task) bool) *task {
+	s := &d.ws[self]
+	// Prioritized tasks run before anything in the regular deque.
+	if t := s.pq.take(pred); t != nil {
+		return t
+	}
+	if pred == nil {
+		if d.fifoLocal {
+			return s.dq.steal() // FIFO end of own deque
+		}
+		return s.dq.popBottom()
+	}
+	// A constrained (tied) waiter must use the LIFO bottom end
+	// regardless of local order: its own unstarted children are always
+	// the most recent pushes (the progress rule above).
+	t := s.dq.popBottom()
+	if t != nil && !pred(t) {
+		// Cannot run it here now; put it back for thieves and park.
+		s.dq.pushBottom(t)
+		return nil
+	}
+	return t
+}
+
+func (d *dequeScheduler) Steal(self int, pred func(*task) bool) *task {
+	n := len(d.ws)
+	if n == 1 {
+		return nil
+	}
+	me := &d.ws[self]
+	if d.affinity && me.lastVictim >= 0 && me.lastVictim != self {
+		if t := d.takeFrom(self, me.lastVictim, pred); t != nil {
+			return t
+		}
+	}
+	// Random victim, then sweep the rest.
+	start := int(nextRand(&me.rng) % uint64(n))
+	for i := 0; i < n; i++ {
+		v := (start + i) % n
+		if v == self {
+			continue
+		}
+		if t := d.takeFrom(self, v, pred); t != nil {
+			if d.affinity {
+				me.lastVictim = v
+			}
+			return t
+		}
+	}
+	if d.affinity {
+		me.lastVictim = -1
+	}
+	return nil
+}
+
+// takeFrom raids one victim: its priority queue before its deque.
+// With steal-half enabled and no constraint, a successful deque steal
+// also moves up to half the victim's remaining backlog onto the
+// thief's own deque (the thief owns its bottom end, so pushBottom is
+// safe here); a constrained thief takes a single admissible task —
+// bulk-moving tasks it may not be allowed to run would only bury them.
+//
+// Relocation can bury a tied waiter's unstarted child mid-deque on
+// another worker, where neither the waiter's constrained PopLocal
+// (own bottom only) nor Steal (victims' tops only) reaches it. This
+// weakens the progress rule's premise ("a waiter's children are its
+// own most recent pushes") but not liveness: the park/wake protocol
+// guarantees every parked waiter is woken by each child completion
+// and by dependence release (enqueueReleased), and the holder's own
+// progress — its newest pushes are its own children, whose
+// completions wake it in turn — eventually pops or exposes buried
+// tasks at an accessible end. A future scheduler that relocates
+// tasks *and* parks without those wakes would deadlock; keep both
+// halves of the protocol.
+func (d *dequeScheduler) takeFrom(self, victim int, pred func(*task) bool) *task {
+	vs := &d.ws[victim]
+	if t := vs.pq.take(pred); t != nil {
+		return t
+	}
+	t := vs.dq.stealIf(pred)
+	if t == nil {
+		return nil
+	}
+	if d.stealHalf && pred == nil {
+		me := &d.ws[self]
+		for k := vs.dq.size() / 2; k > 0; k-- {
+			e := vs.dq.steal()
+			if e == nil {
+				break
+			}
+			me.dq.pushBottom(e)
+		}
+	}
+	return t
+}
+
+func (d *dequeScheduler) Queued(self int) int64 {
+	s := &d.ws[self]
+	return s.dq.size() + s.pq.size()
+}
+
+// nextRand is xorshift64* for victim selection.
+func nextRand(state *uint64) uint64 {
+	x := *state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	*state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// centralScheduler is the classic breadth-first pool configuration
+// from the paper's design space: a single shared team queue. Every
+// deferred task goes into one FIFO (prioritized tasks into one shared
+// priority queue, drained first); every worker takes from the front,
+// so tasks execute globally in roughly creation order and there is no
+// stealing — and, past a few threads, no queue-level locality either,
+// which is exactly the contention-vs-balance trade-off the
+// centralized-vs-distributed ablation measures.
+type centralScheduler struct {
+	pq   prioQueue // shared: prioritized tasks, drained before the FIFO
+	mu   sync.Mutex
+	fifo []*task // shared FIFO; head is the index of the oldest task
+	head int
+}
+
+func (c *centralScheduler) Name() string { return "centralized" }
+func (c *centralScheduler) Init(n int)   {}
+func (c *centralScheduler) Fini()        {}
+
+func (c *centralScheduler) Push(self int, t *task) {
+	if t.priority != 0 {
+		c.pq.push(t)
+		return
+	}
+	c.mu.Lock()
+	c.fifo = append(c.fifo, t)
+	c.mu.Unlock()
+}
+
+// PopLocal takes from the shared pool: the highest-priority task
+// first, then the oldest admissible FIFO entry. A constrained waiter
+// scans the whole queue — with a single pool that scan is the only
+// way its unstarted children stay reachable (the progress rule).
+func (c *centralScheduler) PopLocal(self int, pred func(*task) bool) *task {
+	if t := c.pq.take(pred); t != nil {
+		return t
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := c.head; i < len(c.fifo); i++ {
+		t := c.fifo[i]
+		if pred != nil && !pred(t) {
+			continue
+		}
+		if i == c.head {
+			c.fifo[i] = nil
+			c.head++
+			if c.head > len(c.fifo)/2 && c.head > 32 {
+				c.fifo = append(c.fifo[:0], c.fifo[c.head:]...)
+				c.head = 0
+			}
+		} else {
+			c.fifo = append(c.fifo[:i], c.fifo[i+1:]...)
+		}
+		return t
+	}
+	return nil
+}
+
+// Steal always fails: a single shared queue has nothing worker-local
+// to steal from; PopLocal already reaches every queued task.
+func (c *centralScheduler) Steal(self int, pred func(*task) bool) *task { return nil }
+
+// Queued reports the shared backlog — the same value for every
+// worker, so a MaxQueue cut-off bounds the team queue as a whole.
+func (c *centralScheduler) Queued(self int) int64 {
+	c.mu.Lock()
+	n := len(c.fifo) - c.head
+	c.mu.Unlock()
+	return int64(n) + c.pq.size()
+}

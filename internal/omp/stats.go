@@ -14,6 +14,16 @@ type Stats struct {
 	// TasksStolen is the number of tasks executed by a worker other
 	// than their creator.
 	TasksStolen int64
+	// StealAttempts is the number of times a worker, finding nothing
+	// admissible in its local queue area, asked the scheduler for
+	// another worker's task; StealFails counts the attempts that came
+	// back empty. Under a pool scheduler (one shared queue, nothing
+	// worker-local to steal) every attempt fails by construction.
+	StealAttempts, StealFails int64
+	// IdleParks is the number of idle back-off streaks workers entered
+	// while waiting at team barriers with no runnable task (each
+	// streak of consecutive empty probes counts once).
+	IdleParks int64
 	// Taskwaits is the number of taskwait operations executed.
 	Taskwaits int64
 	// TaskwaitParks is the number of times a taskwait had to park
@@ -54,6 +64,10 @@ func (s *Stats) String() string {
 		"tasks=%d (undeferred %d, stolen %d) taskwaits=%d parks=%d barriers=%d captured=%dB work=%d",
 		s.TotalTasks(), s.TasksUndeferred, s.TasksStolen, s.Taskwaits,
 		s.TaskwaitParks, s.Barriers, s.CapturedBytes, s.WorkUnits)
+	if s.StealAttempts > 0 {
+		out += fmt.Sprintf(" stealattempts=%d (failed %d) idleparks=%d",
+			s.StealAttempts, s.StealFails, s.IdleParks)
+	}
 	if s.DepEdges > 0 || s.TasksDepDeferred > 0 {
 		out += fmt.Sprintf(" deps=%d (deferred %d, released %d)",
 			s.DepEdges, s.TasksDepDeferred, s.DepReleases)
@@ -70,6 +84,9 @@ type workerStats struct {
 	tasksCreated     int64
 	tasksUndeferred  int64
 	tasksStolen      int64
+	stealAttempts    int64
+	stealFails       int64
+	idleParks        int64
 	taskwaits        int64
 	taskwaitParks    int64
 	barriers         int64
@@ -81,7 +98,7 @@ type workerStats struct {
 	workUnits        int64
 	privateWrites    int64
 	sharedWrites     int64
-	_                [16]byte // pad to a multiple of 64 bytes
+	_                [56]byte // pad to a multiple of 64 bytes
 }
 
 func (tm *Team) aggregateStats() *Stats {
@@ -91,6 +108,9 @@ func (tm *Team) aggregateStats() *Stats {
 		s.TasksCreated += ws.tasksCreated
 		s.TasksUndeferred += ws.tasksUndeferred
 		s.TasksStolen += ws.tasksStolen
+		s.StealAttempts += ws.stealAttempts
+		s.StealFails += ws.stealFails
+		s.IdleParks += ws.idleParks
 		s.Taskwaits += ws.taskwaits
 		s.TaskwaitParks += ws.taskwaitParks
 		s.Barriers += ws.barriers

@@ -195,8 +195,8 @@ func TestMaxQueueCutoffBoundsQueue(t *testing.T) {
 			for i := 0; i < 1000; i++ {
 				c.Task(func(c *Context) {})
 			}
-			if q := c.w.dq.size(); q > 8 {
-				t.Errorf("deque holds %d tasks, policy limit 8", q)
+			if q := c.w.queued(); q > 8 {
+				t.Errorf("ready queue holds %d tasks, policy limit 8", q)
 			}
 			c.Taskwait()
 		})

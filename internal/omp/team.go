@@ -9,36 +9,13 @@ import (
 	"bots/internal/trace"
 )
 
-// Policy selects the order in which a worker consumes its own deque.
-type Policy uint8
-
-const (
-	// WorkFirst pops the worker's own deque LIFO (depth-first), the
-	// classic work-stealing discipline: thieves still steal FIFO from
-	// the top, taking the shallowest (largest) subtrees.
-	WorkFirst Policy = iota
-	// BreadthFirst consumes the worker's own deque FIFO as well, so
-	// tasks execute roughly in creation order.
-	BreadthFirst
-)
-
-func (p Policy) String() string {
-	switch p {
-	case WorkFirst:
-		return "work-first"
-	case BreadthFirst:
-		return "breadth-first"
-	}
-	return "unknown"
-}
-
-// Team is one parallel region's thread team: a set of workers with
-// work-stealing deques executing an SPMD region body plus the
-// explicit tasks it creates.
+// Team is one parallel region's thread team: a set of workers
+// executing an SPMD region body plus the explicit tasks it creates,
+// with all task placement and consumption delegated to a Scheduler.
 type Team struct {
 	workers []*worker
 	cutoff  CutoffPolicy
-	policy  Policy
+	sched   Scheduler
 	rec     *trace.Recorder
 
 	// liveTasks counts deferred tasks created and not yet finished;
@@ -68,15 +45,33 @@ type TeamOpt func(*teamConfig)
 
 type teamConfig struct {
 	cutoff CutoffPolicy
-	policy Policy
+	sched  Scheduler
 	rec    *trace.Recorder
 }
 
 // WithCutoff installs a runtime cut-off policy (default NoCutoff).
 func WithCutoff(p CutoffPolicy) TeamOpt { return func(c *teamConfig) { c.cutoff = p } }
 
-// WithPolicy selects the local scheduling policy (default WorkFirst).
-func WithPolicy(p Policy) TeamOpt { return func(c *teamConfig) { c.policy = p } }
+// WithScheduler selects the task scheduler by registry name; the
+// empty name selects DefaultScheduler. It panics on an unknown name —
+// layers that accept user input validate through NewScheduler (or
+// Schedulers) first, so by the time an option list is assembled the
+// name is a programming error if invalid. A scheduler instance
+// belongs to one region, so the option constructs a fresh one each
+// time it is applied: the same TeamOpt value may be reused across
+// (even concurrent) Parallel calls.
+func WithScheduler(name string) TeamOpt {
+	if _, err := NewScheduler(name); err != nil {
+		panic(err)
+	}
+	return func(c *teamConfig) {
+		s, err := NewScheduler(name)
+		if err != nil {
+			panic(err)
+		}
+		c.sched = s
+	}
+}
 
 // WithRecorder attaches a task-graph recorder; every task event in
 // the region is recorded for later simulation.
@@ -86,15 +81,12 @@ func WithRecorder(r *trace.Recorder) TeamOpt { return func(c *teamConfig) { c.re
 type worker struct {
 	id   int
 	team *Team
-	dq   *deque
-	pq   *prioQueue // ready tasks with non-zero priority
-	cur  *task      // task currently executing on this worker
+	cur  *task // task currently executing on this worker
 
 	singleIdx int64 // private counter of single constructs encountered
 	loopIdx   int64 // private counter of loop constructs encountered
 	reduceIdx int64 // private counter of Reduce constructs encountered
 
-	rng   uint64 // victim-selection PRNG state
 	stats workerStats
 }
 
@@ -109,22 +101,30 @@ func Parallel(n int, body func(*Context), opts ...TeamOpt) *Stats {
 	if n < 1 {
 		n = 1
 	}
-	cfg := teamConfig{cutoff: NoCutoff{}, policy: WorkFirst}
+	cfg := teamConfig{cutoff: NoCutoff{}}
 	for _, o := range opts {
 		o(&cfg)
 	}
+	if cfg.sched == nil {
+		s, err := NewScheduler(DefaultScheduler)
+		if err != nil {
+			panic(err) // the default is registered by this package
+		}
+		cfg.sched = s
+	}
 	tm := &Team{
 		cutoff:    cfg.cutoff,
-		policy:    cfg.policy,
+		sched:     cfg.sched,
 		rec:       cfg.rec,
 		wsSingles: make(map[int64]bool),
 		wsLoops:   make(map[int64]*loopState),
 		wsReduces: make(map[int64]bool),
 	}
+	tm.sched.Init(n)
 	tm.workers = make([]*worker, n)
 	implicit := make([]*task, n)
 	for i := 0; i < n; i++ {
-		tm.workers[i] = &worker{id: i, team: tm, dq: newDeque(), pq: &prioQueue{}, rng: uint64(i)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d}
+		tm.workers[i] = &worker{id: i, team: tm}
 		it := &task{team: tm, untied: false}
 		if tm.rec != nil {
 			it.node = tm.rec.Root()
@@ -153,6 +153,7 @@ func Parallel(n int, body func(*Context), opts ...TeamOpt) *Stats {
 		}()
 	}
 	wg.Wait()
+	tm.sched.Fini()
 	if tm.panicVal != nil {
 		panic(tm.panicVal)
 	}
@@ -160,7 +161,7 @@ func Parallel(n int, body func(*Context), opts ...TeamOpt) *Stats {
 }
 
 // barrier is the team barrier: a scheduling point at which arriving
-// workers execute queued tasks (from any deque, unconstrained) until
+// workers execute queued tasks (from any queue, unconstrained) until
 // every worker has arrived and no live task remains, as OpenMP
 // requires of barriers.
 func (tm *Team) barrier(w *worker) {
@@ -180,6 +181,9 @@ func (tm *Team) barrier(w *worker) {
 			continue
 		}
 		idle++
+		if idle == 1 {
+			w.stats.idleParks++
+		}
 		idlePause(idle)
 	}
 }
@@ -200,60 +204,30 @@ func idlePause(n int) {
 // scheduling constraint: when constraint is non-nil (a suspended tied
 // task), only descendants of that task may run on this thread. It
 // returns true if a task was executed.
+//
+// The pick order is the scheduler's: local area first (priority
+// queue, then own queue under the scheduler's discipline), then a
+// steal. The runtime only counts — every placement decision lives in
+// the Scheduler.
 func (w *worker) runOne(constraint *task) bool {
 	var pred func(*task) bool
 	if constraint != nil {
 		pred = func(c *task) bool { return c.isDescendantOf(constraint) }
 	}
-	// 0. Own priority queue: prioritized tasks run before anything in
-	// the regular deque.
-	if t := w.pq.take(pred); t != nil {
-		w.execute(t, t.parent != nil && t.creator != w)
-		return true
-	}
-	// 1. Own deque. A constrained (tied) waiter must use the LIFO
-	// bottom end regardless of policy: its own unstarted children are
-	// always the most recent pushes, so this is the only end where
-	// progress toward the taskwait is guaranteed — with FIFO
-	// consumption they could sit buried behind non-descendants and
-	// every worker could park with runnable children queued.
-	var t *task
-	if w.team.policy == BreadthFirst && constraint == nil {
-		t = w.dq.steal() // FIFO end of own deque
-	} else {
-		t = w.dq.popBottom()
-		if t != nil && constraint != nil && !t.isDescendantOf(constraint) {
-			// Cannot run it here now; put it back for thieves and park.
-			w.dq.pushBottom(t)
-			t = nil
+	sched := w.team.sched
+	t := sched.PopLocal(w.id, pred)
+	if t == nil && len(w.team.workers) > 1 {
+		w.stats.stealAttempts++
+		t = sched.Steal(w.id, pred)
+		if t == nil {
+			w.stats.stealFails++
 		}
 	}
-	if t != nil {
-		w.execute(t, t.parent != nil && t.creator != w)
-		return true
-	}
-	// 2. Steal from a random victim, then sweep the rest; victims'
-	// priority queues are raided before their deques.
-	n := len(w.team.workers)
-	if n == 1 {
+	if t == nil {
 		return false
 	}
-	start := int(w.nextRand() % uint64(n))
-	for i := 0; i < n; i++ {
-		v := w.team.workers[(start+i)%n]
-		if v == w {
-			continue
-		}
-		if t := v.pq.take(pred); t != nil {
-			w.execute(t, true)
-			return true
-		}
-		if t := v.dq.stealIf(pred); t != nil {
-			w.execute(t, true)
-			return true
-		}
-	}
-	return false
+	w.execute(t, t.parent != nil && t.creator != w)
+	return true
 }
 
 // execute runs task t to completion on w (tasks never migrate once
@@ -286,14 +260,4 @@ func (tm *Team) recordPanic(v any) {
 		tm.panicVal = v
 	}
 	tm.panicMu.Unlock()
-}
-
-// nextRand is xorshift64* for victim selection.
-func (w *worker) nextRand() uint64 {
-	x := w.rng
-	x ^= x >> 12
-	x ^= x << 25
-	x ^= x >> 27
-	w.rng = x
-	return x * 0x2545f4914f6cdd1d
 }

@@ -3,9 +3,11 @@ package report
 import (
 	"fmt"
 	"io"
+	"strings"
 
 	"bots/internal/core"
 	"bots/internal/lab"
+	"bots/internal/omp"
 )
 
 // Fig3 regenerates the paper's Figure 3: the speedup of the best
@@ -230,33 +232,32 @@ func AblationCutoffDepth(r lab.Runner, w io.Writer, class core.Class, threads in
 	return nil
 }
 
-// AblationPolicy compares the work-first (LIFO) and breadth-first
-// (FIFO) local queue disciplines (§IV-D's task-scheduling-policy
-// study) on a recursive and an iterative benchmark.
+// AblationPolicy compares every registered task scheduler (§IV-D's
+// task-scheduling-policy study, extended from the original work-first
+// vs breadth-first pair to the full registry — centralized shared
+// queue and locality stealing included) on a recursive and an
+// iterative benchmark.
 func AblationPolicy(r lab.Runner, w io.Writer, class core.Class, threads []int) error {
-	fmt.Fprintf(w, "Ablation — local scheduling policy (work-first vs breadth-first)\n\n")
+	policies := omp.Schedulers()
+	fmt.Fprintf(w, "Ablation — task scheduler (%s)\n\n", strings.Join(policies, " vs "))
 	var all []Series
 	for _, name := range []string{"sort", "sparselu"} {
 		b, err := core.Get(name)
 		if err != nil {
 			return err
 		}
-		for _, bf := range []bool{false, true} {
+		for _, pol := range policies {
 			s, err := SpeedupSeries(r, b, b.BestVersion, SeriesConfig{
-				Class: class, Threads: threads, BreadthFirst: bf,
+				Class: class, Threads: threads, Policy: pol,
 			})
 			if err != nil {
 				return err
 			}
-			if bf {
-				s.Label += " breadth-first"
-			} else {
-				s.Label += " work-first"
-			}
+			s.Label += " " + pol
 			all = append(all, s)
 		}
 	}
-	WriteChart(w, "speedups under both disciplines", all)
+	WriteChart(w, "speedups per scheduler", all)
 	return nil
 }
 

@@ -8,6 +8,7 @@ import (
 	_ "bots/internal/apps/all"
 	"bots/internal/core"
 	"bots/internal/lab"
+	"bots/internal/omp"
 )
 
 var quickThreads = []int{1, 2, 4, 8}
@@ -193,8 +194,11 @@ func TestAblationPolicy(t *testing.T) {
 	if err := AblationPolicy(testRunner, &buf, core.Test, []int{1, 4}); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(buf.String(), "breadth-first") {
-		t.Error("policy ablation missing series")
+	// One series per registered scheduler, per benchmark.
+	for _, pol := range omp.Schedulers() {
+		if !strings.Contains(buf.String(), "sort (untied) "+pol) {
+			t.Errorf("policy ablation missing %s series", pol)
+		}
 	}
 }
 

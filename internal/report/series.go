@@ -56,11 +56,12 @@ type SeriesConfig struct {
 	// CutoffDepth overrides the app depth cut-off (0 = default).
 	CutoffDepth int
 	// RuntimeCutoff is the runtime cut-off policy name for the real
-	// recording run: ""/"none", "maxtasks", "maxqueue", "adaptive".
+	// recording run (an omp.Cutoffs() name; "" = none).
 	RuntimeCutoff string
-	// BreadthFirst switches the scheduling policy (real runtime and
-	// simulated local queue discipline) to breadth-first.
-	BreadthFirst bool
+	// Policy is the scheduler's registry name (an omp.Schedulers()
+	// name; "" = workfirst). It selects both the real runtime
+	// scheduler and the simulator's matching queue discipline.
+	Policy string
 	// Overheads optionally overrides the simulator cost-model knobs
 	// that are part of a cell's identity (thread switching, central
 	// queue); nil keeps sim.DefaultOverheads.
@@ -69,10 +70,6 @@ type SeriesConfig struct {
 
 // JobFor maps one point of a series onto its lab experiment cell.
 func JobFor(b *core.Benchmark, version string, threads int, cfg SeriesConfig) lab.JobSpec {
-	policy := ""
-	if cfg.BreadthFirst {
-		policy = "breadthfirst"
-	}
 	return lab.JobSpec{
 		Bench:         b.Name,
 		Version:       version,
@@ -80,7 +77,7 @@ func JobFor(b *core.Benchmark, version string, threads int, cfg SeriesConfig) la
 		Threads:       threads,
 		CutoffDepth:   cfg.CutoffDepth,
 		RuntimeCutoff: cfg.RuntimeCutoff,
-		Policy:        policy,
+		Policy:        cfg.Policy,
 		Overheads:     cfg.Overheads,
 	}.Normalize()
 }

@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"bots/internal/trace"
+)
+
+// schedNames mirrors the omp scheduler registry — the disciplines a
+// lab policy sweep replays under.
+var schedNames = []string{"workfirst", "breadthfirst", "centralized", "locality"}
+
+func TestUnknownSchedulerRejected(t *testing.T) {
+	tr := flatTrace(4, 100, false)
+	_, err := Run(tr, 2, Params{WorkUnitNS: 1, Scheduler: "chaotic"})
+	if err == nil || !strings.Contains(err.Error(), "chaotic") {
+		t.Fatalf("unknown scheduler should error, got %v", err)
+	}
+}
+
+// TestRegisterDiscipline: a scheduler registered outside the four
+// built-ins replays under its declared base discipline instead of
+// erroring.
+func TestRegisterDiscipline(t *testing.T) {
+	if err := RegisterDiscipline("numa-test", "bogus"); err == nil {
+		t.Fatal("bad base discipline should be rejected")
+	}
+	if err := RegisterDiscipline("numa-test", "locality"); err != nil {
+		t.Fatal(err)
+	}
+	tr := flatTrace(16, 1000, false)
+	res, err := Run(tr, 2, Params{WorkUnitNS: 1, Scheduler: "numa-test"})
+	if err != nil {
+		t.Fatalf("aliased scheduler should simulate: %v", err)
+	}
+	if res.Speedup <= 0 {
+		t.Fatal("aliased replay produced no result")
+	}
+}
+
+// TestAllDisciplinesReplayFib checks every queue discipline replays a
+// real recorded task graph to completion with a sane makespan: no
+// deadlock under the tied constraint, full drain, speedup within the
+// thread count.
+func TestAllDisciplinesReplayFib(t *testing.T) {
+	tr := recordFib(t, 14, 4)
+	for _, name := range schedNames {
+		res, err := Run(tr, 4, Params{WorkUnitNS: 50, SpawnNS: 100, StealNS: 200, Scheduler: name})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Speedup <= 1 || res.Speedup > 4+1e-9 {
+			t.Errorf("%s: speedup = %v, want in (1, 4]", name, res.Speedup)
+		}
+	}
+}
+
+// TestCentralizedHasNoSteals: a single shared queue has no per-worker
+// queues, so the steal counter must stay zero while the work still
+// spreads across the team.
+func TestCentralizedHasNoSteals(t *testing.T) {
+	tr := flatTrace(64, 10000, false)
+	res, err := Run(tr, 1, Params{WorkUnitNS: 1, Scheduler: "centralized"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steals != 0 {
+		t.Fatalf("centralized replay counted %d steals, want 0", res.Steals)
+	}
+}
+
+// TestCentralizedSpreadsWork: extra virtual threads draw from the
+// shared queue even though nothing is ever "stolen".
+func TestCentralizedSpreadsWork(t *testing.T) {
+	rec := trace.NewRecorder()
+	roots := make([]*trace.Node, 4)
+	for i := range roots {
+		roots[i] = rec.Root()
+	}
+	for i := 0; i < 64; i++ {
+		rec.Spawn(roots[0], false, false, 0).AddWork(10000)
+	}
+	roots[0].Taskwait()
+	tr := rec.Finish()
+	res, err := Run(tr, 4, Params{WorkUnitNS: 1, Scheduler: "centralized"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Speedup < 3.5 {
+		t.Fatalf("centralized 4-thread speedup on 64 equal tasks = %v, want ≈ 4", res.Speedup)
+	}
+	if res.Steals != 0 {
+		t.Fatalf("centralized replay counted %d steals", res.Steals)
+	}
+}
+
+// TestLocalityStealsInBulk: with one generator and many short tasks,
+// steal-half moves backlog in batches, so locality needs no more
+// steal operations than workfirst's one-at-a-time discipline while
+// counting at least one bulk move.
+func TestLocalityStealHalf(t *testing.T) {
+	rec := trace.NewRecorder()
+	roots := make([]*trace.Node, 4)
+	for i := range roots {
+		roots[i] = rec.Root()
+	}
+	for i := 0; i < 128; i++ {
+		rec.Spawn(roots[0], false, false, 0).AddWork(1000)
+	}
+	roots[0].Taskwait()
+	tr := rec.Finish()
+	loc, err := Run(tr, 4, Params{WorkUnitNS: 1, Scheduler: "locality"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc.Speedup < 3 {
+		t.Fatalf("locality speedup = %v, want ≈ 4", loc.Speedup)
+	}
+	if loc.Steals == 0 {
+		t.Fatal("locality replay should steal from the single generator")
+	}
+}
+
+// TestDisciplinesDiverge: the disciplines are really distinct models
+// — under a cost model that charges steals, a deep task graph must
+// not produce identical schedules across all four.
+func TestDisciplinesDiverge(t *testing.T) {
+	tr := recordFib(t, 14, 4)
+	p := Params{WorkUnitNS: 20, SpawnNS: 100, StealNS: 400, TaskwaitNS: 50}
+	seen := map[float64][]string{}
+	for _, name := range schedNames {
+		p.Scheduler = name
+		res, err := Run(tr, 4, p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		seen[res.MakespanNS] = append(seen[res.MakespanNS], name)
+	}
+	if len(seen) < 2 {
+		t.Fatalf("all disciplines produced one makespan: %v", seen)
+	}
+}

@@ -2,11 +2,14 @@
 // schedulers. It replays a task graph recorded by internal/trace
 // (from a real internal/omp execution) on an arbitrary number of
 // virtual threads, reproducing the scheduling semantics of the omp
-// runtime — per-worker deques, random-victim stealing, the OpenMP
-// task scheduling constraint for tied tasks, undeferred (inline)
-// tasks, dependence-deferred tasks (trace Deps edges hold a spawned
-// task back until its predecessors complete) — together with a cost
-// model for task-management overheads and shared memory bandwidth.
+// runtime — a queue discipline per registered scheduler (work-first
+// and breadth-first deques, the centralized shared queue, locality
+// steal-half/last-victim stealing; Params.Scheduler), random-victim
+// stealing, the OpenMP task scheduling constraint for tied tasks,
+// undeferred (inline) tasks, dependence-deferred tasks (trace Deps
+// edges hold a spawned task back until its predecessors complete) —
+// together with a cost model for task-management overheads and shared
+// memory bandwidth.
 // Task priorities are replayed as ordinary tasks: priority is a
 // scheduling hint that changes pick order, not the dependence
 // structure, and the simulator's deques keep creation order.
@@ -23,6 +26,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"bots/internal/trace"
 )
@@ -55,10 +59,22 @@ type Params struct {
 	// memory-bound work slows by max(1, A/BandwidthCap). Zero means
 	// unlimited bandwidth.
 	BandwidthCap float64
-	// BreadthFirst switches a worker's own-queue consumption from
-	// LIFO (work-first, the default) to FIFO, mirroring the omp
-	// runtime's BreadthFirst policy for the §IV-D scheduling study.
-	BreadthFirst bool
+	// Scheduler names the queue discipline to replay under, matching
+	// the omp scheduler registry so simulated sweeps stay faithful per
+	// policy ("" = workfirst):
+	//
+	//   - "workfirst": per-worker deques, LIFO own consumption, FIFO
+	//     single-task steals from random victims.
+	//   - "breadthfirst": as workfirst but the owner consumes its own
+	//     deque FIFO (roughly creation order).
+	//   - "centralized": one shared team FIFO; every spawn enqueues
+	//     there and every worker dequeues from the front. There is no
+	//     stealing (Steals stays 0) and no StealNS is charged; combine
+	//     with QueueSerializeNS to cost the shared-queue contention.
+	//   - "locality": workfirst local order plus affinity stealing —
+	//     thieves return to their last successful victim first and an
+	//     unconstrained steal moves half the victim's backlog.
+	Scheduler string
 	// QueueSerializeNS, when positive, models a *central shared task
 	// queue* instead of per-worker deques: every enqueue (deferred
 	// spawn) and dequeue (task start) serializes through one lock,
@@ -149,17 +165,89 @@ type frame struct {
 }
 
 type vworker struct {
-	id    int
-	state workerState
-	stack []frame
-	dq    []int32 // ready deque: bottom = end of slice, top = index 0
-	rng   uint64
+	id         int
+	state      workerState
+	stack      []frame
+	dq         []int32 // ready deque: bottom = end of slice, top = index 0
+	rng        uint64
+	lastVictim int // last successful steal victim (locality), or -1
+}
+
+// discipline is the parsed Params.Scheduler queue discipline.
+type discipline uint8
+
+const (
+	schedWorkFirst discipline = iota
+	schedBreadthFirst
+	schedCentralized
+	schedLocality
+)
+
+// builtinDiscipline resolves the four disciplines modeled natively.
+func builtinDiscipline(name string) (discipline, bool) {
+	switch name {
+	case "", "workfirst":
+		return schedWorkFirst, true
+	case "breadthfirst":
+		return schedBreadthFirst, true
+	case "centralized":
+		return schedCentralized, true
+	case "locality":
+		return schedLocality, true
+	}
+	return 0, false
+}
+
+// disciplineAlias maps scheduler names registered outside the four
+// built-ins (omp.RegisterScheduler extensions) onto the built-in
+// discipline that models them most closely, so sweeps and reports
+// over the full scheduler registry can still replay their cells.
+var (
+	aliasMu         sync.RWMutex
+	disciplineAlias = map[string]discipline{}
+)
+
+// RegisterDiscipline declares that traces recorded under scheduler
+// name replay under base's queue discipline (one of workfirst/
+// breadthfirst/centralized/locality). Call it alongside
+// omp.RegisterScheduler for any scheduler added outside this package;
+// without it, simulating that scheduler's cells errors explicitly
+// rather than silently mis-modeling them as workfirst.
+func RegisterDiscipline(name, base string) error {
+	d, ok := builtinDiscipline(base)
+	if !ok || name == "" {
+		return fmt.Errorf("sim: RegisterDiscipline(%q, %q): base must be one of workfirst/breadthfirst/centralized/locality", name, base)
+	}
+	aliasMu.Lock()
+	disciplineAlias[name] = d
+	aliasMu.Unlock()
+	return nil
+}
+
+// parseDiscipline maps an omp scheduler registry name onto the
+// simulator's matching (or registered-alias) queue discipline.
+func parseDiscipline(name string) (discipline, error) {
+	if d, ok := builtinDiscipline(name); ok {
+		return d, nil
+	}
+	aliasMu.RLock()
+	d, ok := disciplineAlias[name]
+	aliasMu.RUnlock()
+	if ok {
+		return d, nil
+	}
+	return 0, fmt.Errorf("sim: no queue discipline for scheduler %q (have workfirst/breadthfirst/centralized/locality; RegisterDiscipline maps new scheduler names onto one of them)", name)
 }
 
 type sim struct {
 	tr      *trace.Trace
 	p       Params
+	disc    discipline
 	workers []*vworker
+
+	// central is the shared team queue of the centralized discipline
+	// (front = index 0, tasks spawn onto the back).
+	central []int32
 	// pending[i] = outstanding children of task i; waitingOn[i] =
 	// worker blocked in task i's taskwait, or -1.
 	pending   []int32
@@ -219,9 +307,14 @@ func Run(tr *trace.Trace, threads int, p Params) (Result, error) {
 	if p.WorkUnitNS <= 0 {
 		p.WorkUnitNS = 1
 	}
+	disc, err := parseDiscipline(p.Scheduler)
+	if err != nil {
+		return Result{}, err
+	}
 	s := &sim{
 		tr:         tr,
 		p:          p,
+		disc:       disc,
 		pending:    make([]int32, len(tr.Tasks)),
 		waiterOf:   make([]int32, len(tr.Tasks)),
 		depsLeft:   make([]int32, len(tr.Tasks)),
@@ -239,7 +332,7 @@ func Run(tr *trace.Trace, threads int, p Params) (Result, error) {
 	}
 	s.workers = make([]*vworker, threads)
 	for i := 0; i < threads; i++ {
-		w := &vworker{id: i, rng: uint64(i)*0x9e3779b97f4a7c15 + 1}
+		w := &vworker{id: i, rng: uint64(i)*0x9e3779b97f4a7c15 + 1, lastVictim: -1}
 		if i < tr.NumRoots {
 			w.startTask(s, int32(i), false)
 		} else {
@@ -338,6 +431,7 @@ func (s *sim) run() error {
 		if active == 0 {
 			var queued, depWaiting int
 			blocked := 0
+			queued += len(s.central)
 			for _, w := range s.workers {
 				queued += len(w.dq)
 				if w.state == wBlocked {
@@ -453,7 +547,7 @@ func (s *sim) segmentDone(w *vworker) {
 				// push it (see completeTask).
 				s.depWaiting[ev.Child] = true
 			} else {
-				w.dq = append(w.dq, ev.Child) // push bottom
+				s.enqueueReady(w, ev.Child)
 			}
 			f.remaining = s.p.SpawnNS + s.queueAcquire()
 			f.memBound = false
@@ -567,14 +661,40 @@ func (s *sim) isDescendant(id, anc int32) bool {
 	return false
 }
 
-// findWork implements the runtime's runOne for virtual workers:
-// pop own bottom (with the tied constraint), else steal from a random
-// victim's top. Returns true if a new frame was started.
+// enqueueReady makes a spawned or dependence-released task ready
+// under the active discipline: the shared team queue for centralized,
+// the acting worker's own deque (push bottom) otherwise.
+func (s *sim) enqueueReady(w *vworker, id int32) {
+	if s.disc == schedCentralized {
+		s.central = append(s.central, id)
+		return
+	}
+	w.dq = append(w.dq, id)
+}
+
+// findWork implements the runtime's runOne for virtual workers under
+// the active queue discipline: take from the local area (own deque,
+// or the shared queue for centralized), else steal. Returns true if a
+// new frame was started.
 func (s *sim) findWork(w *vworker, constraint int32) bool {
+	if s.disc == schedCentralized {
+		// One shared FIFO: the oldest admissible task. A constrained
+		// waiter scans the queue, exactly like the runtime's
+		// centralized scheduler; there is no stealing.
+		for i, id := range s.central {
+			if constraint >= 0 && !s.isDescendant(id, constraint) {
+				continue
+			}
+			s.central = append(s.central[:i], s.central[i+1:]...)
+			w.startTask(s, id, false)
+			return true
+		}
+		return false
+	}
 	if n := len(w.dq); n > 0 {
 		// A constrained (tied) waiter always pops LIFO — its children
 		// are the most recent pushes — matching the runtime's rule.
-		if s.p.BreadthFirst && constraint < 0 {
+		if s.disc == schedBreadthFirst && constraint < 0 {
 			id := w.dq[0]
 			w.dq = w.dq[1:]
 			w.startTask(s, id, false)
@@ -593,22 +713,54 @@ func (s *sim) findWork(w *vworker, constraint int32) bool {
 	if nw == 1 {
 		return false
 	}
+	if s.disc == schedLocality && w.lastVictim >= 0 && w.lastVictim != w.id {
+		if s.stealFrom(w, s.workers[w.lastVictim], constraint) {
+			return true
+		}
+	}
 	start := int(w.nextRand() % uint64(nw))
 	for i := 0; i < nw; i++ {
 		v := s.workers[(start+i)%nw]
-		if v == w || len(v.dq) == 0 {
+		if v == w {
 			continue
 		}
-		id := v.dq[0]
-		if constraint >= 0 && !s.isDescendant(id, constraint) {
-			continue
+		if s.stealFrom(w, v, constraint) {
+			if s.disc == schedLocality {
+				w.lastVictim = v.id
+			}
+			return true
 		}
-		v.dq = v.dq[1:]
-		s.steals++
-		w.startTask(s, id, true)
-		return true
+	}
+	if s.disc == schedLocality {
+		w.lastVictim = -1
 	}
 	return false
+}
+
+// stealFrom takes the victim's oldest task if admissible; under the
+// locality discipline an unconstrained steal also moves half the
+// victim's remaining backlog onto the thief's deque (steal-half),
+// each moved task counting as a steal, with the steal overhead
+// charged only on the task started now (bulk moves amortize it).
+func (s *sim) stealFrom(w, v *vworker, constraint int32) bool {
+	if len(v.dq) == 0 {
+		return false
+	}
+	id := v.dq[0]
+	if constraint >= 0 && !s.isDescendant(id, constraint) {
+		return false
+	}
+	v.dq = v.dq[1:]
+	s.steals++
+	if s.disc == schedLocality && constraint < 0 {
+		if k := len(v.dq) / 2; k > 0 {
+			w.dq = append(w.dq, v.dq[:k]...)
+			v.dq = v.dq[k:]
+			s.steals += int64(k)
+		}
+	}
+	w.startTask(s, id, true)
+	return true
 }
 
 // releaseDeps performs the dependence side of task completion: every
@@ -624,7 +776,7 @@ func (s *sim) releaseDeps(w *vworker, id int32) {
 			continue
 		}
 		s.depWaiting[succ] = false
-		w.dq = append(w.dq, succ)
+		s.enqueueReady(w, succ)
 		for _, bw := range s.workers {
 			if bw.state != wBlocked {
 				continue
