@@ -1,0 +1,125 @@
+// Command botsbench runs the pinned performance suite (internal/perf)
+// and emits the next BENCH_<n>.json of the repository's perf
+// trajectory: spawn-path allocation counts (gated, host-independent),
+// fib/nqueens spawn rates, per-scheduler steal throughput with
+// contention counters, and sort/strassen end-to-end times — compared
+// against the committed baseline (internal/perf/baseline.json).
+//
+// Continuous use:
+//
+//	botsbench                      # full suite, writes ./BENCH_<n>.json
+//	botsbench -quick               # CI smoke sizes, gate still enforced
+//	botsbench -store bots-lab.jsonl  # also ingest metrics into the lab store
+//
+// The process exits non-zero when a gated metric regresses more than
+// -max-regression against the baseline, so CI can run it directly.
+// Timing metrics are informational (the committed baseline was
+// measured on a different host than CI) and never fail the gate.
+//
+// Re-anchoring after a deliberate performance change:
+//
+//	botsbench -write-baseline internal/perf/baseline.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"bots/internal/lab"
+	"bots/internal/perf"
+)
+
+func main() {
+	var (
+		quick    = flag.Bool("quick", false, "reduced CI-smoke sizes (fib 20, test-class macros, 1 rep)")
+		threads  = flag.Int("threads", 4, "team size for parallel measurements")
+		reps     = flag.Int("reps", 0, "timing repetitions (best-of); 0 = mode default")
+		outDir   = flag.String("out", ".", "directory to emit BENCH_<n>.json into; empty = don't emit")
+		baseline = flag.String("baseline", "", "baseline report to compare against; empty = embedded committed baseline")
+		maxReg   = flag.Float64("max-regression", 0.25, "gated-metric regression threshold (fraction)")
+		storeOpt = flag.String("store", "", "lab JSONL store to ingest the metrics into (optional)")
+		writeTo  = flag.String("write-baseline", "", "write the run as a new baseline to this path and skip comparison")
+	)
+	flag.Parse()
+
+	rep, err := perf.Run(perf.Options{Quick: *quick, Threads: *threads, Reps: *reps})
+	fatal(err)
+
+	if *writeTo != "" {
+		fatal(perf.WriteReport(rep, *writeTo))
+		fmt.Printf("botsbench: wrote baseline %s (%d metrics)\n", *writeTo, len(rep.Metrics))
+		printMetrics(rep)
+		return
+	}
+
+	base, err := perf.LoadBaseline(*baseline)
+	fatal(err)
+	cmp := perf.Compare(rep, base, *maxReg)
+
+	var benchPath string
+	if *outDir != "" {
+		benchPath, err = perf.NextBenchPath(*outDir)
+		fatal(err)
+		fatal(perf.WriteReport(rep, benchPath))
+	}
+	if *storeOpt != "" {
+		store, err := lab.OpenStore(*storeOpt)
+		fatal(err)
+		err = perf.AppendToStore(store, rep)
+		store.Close()
+		fatal(err)
+	}
+
+	printMetrics(rep)
+	if benchPath != "" {
+		fmt.Printf("\nbotsbench: wrote %s (baseline of %s)\n", benchPath, cmp.BaselineCreatedAt.Format("2006-01-02"))
+	}
+	if cmp.Regressions > 0 {
+		fmt.Fprintf(os.Stderr, "botsbench: %d gated metric(s) regressed more than %.0f%% — failing\n",
+			cmp.Regressions, *maxReg*100)
+		os.Exit(1)
+	}
+}
+
+// printMetrics renders the human-readable table: every metric, with
+// the baseline delta when the comparison matched it.
+func printMetrics(rep *perf.Report) {
+	deltaBy := map[string]perf.Delta{}
+	if rep.Comparison != nil {
+		for _, d := range rep.Comparison.Deltas {
+			deltaBy[d.Name+"|"+d.Params] = d
+		}
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "METRIC\tVALUE\tUNIT\tVS BASELINE\tGATE\tPARAMS")
+	for _, m := range rep.Metrics {
+		vs := "-"
+		if d, ok := deltaBy[m.Name+"|"+m.Params]; ok {
+			arrow := "~"
+			if d.Improved {
+				arrow = "improved"
+			} else if d.Pct != 0 {
+				arrow = "worse"
+			}
+			vs = fmt.Sprintf("%+.1f%% (%s)", d.Pct, arrow)
+			if d.Regression {
+				vs += " REGRESSION"
+			}
+		}
+		gate := ""
+		if m.Gate {
+			gate = "gated"
+		}
+		fmt.Fprintf(tw, "%s\t%.4g\t%s\t%s\t%s\t%s\n", m.Name, m.Value, m.Unit, vs, gate, m.Params)
+	}
+	tw.Flush()
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "botsbench:", err)
+		os.Exit(1)
+	}
+}

@@ -40,28 +40,42 @@ func (c *Context) InFinal() bool { return c.task.final }
 // dependences must be able to hold it back — and is enqueued only
 // once every predecessor sibling has finished.
 func (c *Context) Task(body func(*Context), opts ...TaskOpt) {
-	cfg := taskConfig{ifClause: true}
+	// The config lives in the worker, not on the stack: opts are
+	// opaque function values, so a local config would escape to the
+	// heap on every call. The scratch is safe to reuse because
+	// spawnTask consumes every field before it runs (or enqueues) the
+	// task — by the time a nested Task can touch the scratch again,
+	// this invocation is done with it.
+	cfg := &c.w.taskCfg
+	cfg.reset()
 	for _, o := range opts {
-		o(&cfg)
+		o(cfg)
 	}
+	c.spawnTask(body, cfg)
+}
+
+// spawnTask is the shared creation path behind Task and Spawn. The
+// task struct comes from the worker's recycling tiers (pool.go), and
+// every field the previous life of the struct may have set is
+// re-assigned or guaranteed reset here.
+func (c *Context) spawnTask(body func(*Context), cfg *taskConfig) {
 	w, parent, tm := c.w, c.task, c.w.team
 	depth := parent.depth + 1
 	hasDeps := len(cfg.deps) > 0
 	deferred := hasDeps || (cfg.ifClause && !parent.final && tm.cutoff.Defer(tm, w, depth))
 
-	t := &task{
-		body:     body,
-		parent:   parent,
-		team:     tm,
-		creator:  w,
-		depth:    depth,
-		untied:   cfg.untied,
-		final:    cfg.final || parent.final,
-		priority: cfg.priority,
-		group:    parent.group,
-		hasDeps:  hasDeps,
-		latch:    cfg.latch,
-	}
+	t := w.newTask()
+	t.body = body
+	t.parent = parent
+	t.team = tm
+	t.creator = w
+	t.depth = depth
+	t.untied = cfg.untied
+	t.final = cfg.final || parent.final
+	t.priority = cfg.priority
+	t.group = parent.group
+	t.hasDeps = hasDeps
+	t.latch = cfg.latch
 	if tm.rec != nil {
 		t.node = tm.rec.Spawn(parent.node, cfg.untied, !deferred, cfg.captured)
 		if cfg.priority != 0 {
@@ -85,13 +99,21 @@ func (c *Context) Task(body func(*Context), opts ...TaskOpt) {
 				if r := recover(); r != nil {
 					tm.recordPanic(r)
 				}
-				t.finishInline()
+				t.finishInline(w)
 			}()
-			body(&Context{w: w, task: t})
+			t.ctx = Context{w: w, task: t}
+			body(&t.ctx)
 		}()
 		w.cur = prev
 		return
 	}
+	// The enqueued task — and therefore its whole ancestor chain — may
+	// be reached by stale thief reads until the region ends: pin the
+	// parent out of the in-region recycling tier (finishInline
+	// propagates the mark upward; see pool.go).
+	t.visible = true
+	parent.visible = true
+	parent.spawnedDeferred = true
 	w.stats.tasksCreated++
 	parent.pending.Add(1)
 	if t.group != nil {
@@ -104,7 +126,7 @@ func (c *Context) Task(body func(*Context), opts ...TaskOpt) {
 		// before resolution completes.
 		t.depsLeft.Store(1)
 		if parent.depTab == nil {
-			parent.depTab = &depTracker{entries: make(map[uintptr]*depEntry)}
+			parent.depTab = newDepTab()
 		}
 		parent.depTab.resolve(t, cfg.deps, w)
 		if t.depsLeft.Add(-1) > 0 {
@@ -119,9 +141,31 @@ func (c *Context) Task(body func(*Context), opts ...TaskOpt) {
 }
 
 // finishInline is finish for undeferred tasks: they were never added
-// to parent.pending, so only the team live count is released.
-func (t *task) finishInline() {
+// to parent.pending, so only the team live count is released. A
+// never-shared task (no deferred descendant ever existed) is recycled
+// immediately; a visible one is buried until region end, propagating
+// visibility to its parent — the parent is an ancestor of whatever
+// deferred task made this one visible. Both the visible read and the
+// parent write happen on the thread that executed t inline, which is
+// also the thread executing t.parent.
+func (t *task) finishInline(w *worker) {
+	if t.depTab != nil {
+		recycleDepTab(t.depTab)
+		t.depTab = nil
+	}
 	t.team.liveTasks.Add(-1)
+	if t.visible {
+		if p := t.parent; p != nil {
+			// t has a deferred descendant, so every ancestor of t does
+			// too; the parent executes on this thread, suspended in
+			// the inline chain, so the writes need no synchronization.
+			p.visible = true
+			p.spawnedDeferred = true
+		}
+		w.bury(t)
+		return
+	}
+	w.recycle(t)
 }
 
 // Taskwait suspends the current task until all child tasks it has

@@ -99,16 +99,26 @@ type depEntry struct {
 }
 
 // depTracker is the per-parent dependence hash table. It is created
-// lazily on the first dependent child and accessed only by the thread
-// executing the parent task.
+// lazily on the first dependent child (recycled from depTabPool; see
+// pool.go) and accessed only by the thread executing the parent task.
+// free holds cleared entry structs from the tracker's previous lives,
+// so steady-state dependence resolution allocates neither tables nor
+// entries.
 type depTracker struct {
 	entries map[uintptr]*depEntry
+	free    []*depEntry
 }
 
 func (tr *depTracker) entry(addr uintptr) *depEntry {
 	e := tr.entries[addr]
 	if e == nil {
-		e = &depEntry{}
+		if n := len(tr.free) - 1; n >= 0 {
+			e = tr.free[n]
+			tr.free[n] = nil
+			tr.free = tr.free[:n]
+		} else {
+			e = &depEntry{}
+		}
 		tr.entries[addr] = e
 	}
 	return e
@@ -208,10 +218,12 @@ func (w *worker) enqueueReleased(t *task) {
 	}
 }
 
-// enqueue hands a ready task to the team's scheduler on behalf of w.
-// Owner-side only (w must be the calling worker).
+// enqueue hands a ready task to the team's scheduler on behalf of w,
+// then rings the team doorbell so a worker parked at a barrier can
+// come take it. Owner-side only (w must be the calling worker).
 func (w *worker) enqueue(t *task) {
 	w.team.sched.Push(w.id, t)
+	w.team.ring()
 }
 
 // queued returns the worker's ready backlog as the scheduler reports

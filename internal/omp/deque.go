@@ -16,7 +16,12 @@ type deque struct {
 	ring   atomic.Pointer[dequeRing]
 }
 
-const initialDequeCap = 64
+// initialDequeCap pre-sizes a fresh ring so typical regions never
+// grow it; queue storage is additionally pooled across regions (see
+// scheduler.go), so a ring grown once by a deep breadth-first backlog
+// stays grown and steady-state execution performs no ring allocation
+// at all.
+const initialDequeCap = 256
 
 type dequeRing struct {
 	mask int64
@@ -93,6 +98,18 @@ func (d *deque) popBottom() *task {
 	}
 	d.bottom.Store(tp + 1)
 	return t
+}
+
+// clearStale nils every ring slot. Chase–Lev never clears consumed
+// slots itself (the [top, bottom) window is what is live), so a
+// drained deque still pins the tasks it once held. Called only from
+// quiescent contexts (scheduler Fini, with the region joined) before
+// the deque is pooled for the next region.
+func (d *deque) clearStale() {
+	r := d.ring.Load()
+	for i := range r.slot {
+		r.slot[i].Store(nil)
+	}
 }
 
 // steal removes and returns the oldest task, or nil if the deque is

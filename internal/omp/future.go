@@ -60,20 +60,25 @@ func (f *Future[T]) Done() bool { return f.done.Load() }
 // re-raised when the parallel region returns, as for any task.
 func Spawn[T any](c *Context, fn func(*Context) T, opts ...TaskOpt) *Future[T] {
 	f := &Future[T]{}
-	opts = append(opts, withLatch(&f.l))
-	c.Task(func(tc *Context) {
+	cfg := &c.w.taskCfg // see Context.Task for why the scratch is safe
+	cfg.reset()
+	for _, o := range opts {
+		o(cfg)
+	}
+	// The future's latch rides in the config directly (rather than
+	// through an appended TaskOpt closure) so the hot path allocates
+	// only the Future and the producing body below; dependence release
+	// uses it to wake parked waiters (see enqueueReleased).
+	cfg.latch = &f.l
+	c.spawnTask(func(tc *Context) {
 		defer func() {
 			f.done.Store(true)
 			f.l.signal()
 		}()
 		f.val = fn(tc)
-	}, opts...)
+	}, cfg)
 	return f
 }
-
-// withLatch attaches the future's latch to the task so that a
-// dependence release can wake parked waiters (see enqueueReleased).
-func withLatch(l *latch) TaskOpt { return func(c *taskConfig) { c.latch = l } }
 
 // Wait blocks until the producing task has completed and returns its
 // value. Like taskwait, waiting is a task scheduling point: the

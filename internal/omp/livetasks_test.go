@@ -1,0 +1,141 @@
+package omp
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestLiveTasksReturnToZero is the regression net over the live-task
+// accounting audit: liveTasks is incremented once per task (deferred
+// or undeferred) and decremented in exactly one of finish (deferred,
+// via execute's deferred call — which runs once even when the body
+// panics) or finishInline (undeferred). The counter must read zero
+// after every region, whatever mix of paths ran — a double decrement
+// on the undeferred/panic paths would both wedge the accounting and,
+// since recycling keys off the same completion points, double-free a
+// pooled task.
+func TestLiveTasksReturnToZero(t *testing.T) {
+	var checked atomic.Int64
+	prev := regionEndHook
+	regionEndHook = func(tm *Team) {
+		checked.Add(1)
+		if live := tm.liveTasks.Load(); live != 0 {
+			t.Errorf("liveTasks = %d after region end, want 0", live)
+		}
+	}
+	defer func() { regionEndHook = prev }()
+
+	scenarios := []struct {
+		name string
+		body func(c *Context)
+	}{
+		{"DeferredTree", func(c *Context) {
+			c.Single(func(c *Context) {
+				var res int64
+				c.Task(func(c *Context) { parFib(c, 12, &res) })
+			})
+		}},
+		{"UndeferredIfFalse", func(c *Context) {
+			c.Single(func(c *Context) {
+				for i := 0; i < 32; i++ {
+					c.Task(func(c *Context) {
+						c.Task(func(c *Context) {}, If(false))
+					}, If(false))
+				}
+			})
+		}},
+		{"FinalSubtree", func(c *Context) {
+			c.Single(func(c *Context) {
+				var res int64
+				c.Task(func(c *Context) { parFib(c, 8, &res) }, Final(true))
+			})
+		}},
+		{"MixedUndeferredWithDeferredChildren", func(c *Context) {
+			c.Single(func(c *Context) {
+				c.Task(func(c *Context) {
+					for i := 0; i < 8; i++ {
+						c.Task(func(c *Context) {})
+					}
+					c.Taskwait()
+				}, If(false))
+			})
+		}},
+		{"FireAndForgetFromUndeferred", func(c *Context) {
+			// Children outliving their undeferred parent: the parent
+			// returns without a taskwait, the barrier drains them.
+			c.Single(func(c *Context) {
+				c.Task(func(c *Context) {
+					for i := 0; i < 8; i++ {
+						c.Task(func(c *Context) {})
+					}
+				}, If(false))
+			})
+		}},
+		{"Dependences", func(c *Context) {
+			c.Single(func(c *Context) {
+				buf := new(int)
+				for i := 0; i < 16; i++ {
+					c.Task(func(c *Context) { *buf++ }, InOut(buf))
+				}
+				c.Taskwait()
+			})
+		}},
+		{"Futures", func(c *Context) {
+			c.Single(func(c *Context) {
+				f := Spawn(c, func(c *Context) int {
+					g := Spawn(c, func(c *Context) int { return 21 })
+					return 2 * g.Wait(c)
+				})
+				if got := f.Wait(c); got != 42 {
+					t.Errorf("future = %d, want 42", got)
+				}
+			})
+		}},
+		{"Taskgroup", func(c *Context) {
+			c.Single(func(c *Context) {
+				c.Taskgroup(func(c *Context) {
+					for i := 0; i < 8; i++ {
+						c.Task(func(c *Context) {
+							c.Task(func(c *Context) {})
+						})
+					}
+				})
+			})
+		}},
+		{"PanicInDeferredTask", func(c *Context) {
+			c.Single(func(c *Context) {
+				c.Task(func(c *Context) { panic("deferred boom") })
+			})
+		}},
+		{"PanicInUndeferredTask", func(c *Context) {
+			c.Single(func(c *Context) {
+				c.Task(func(c *Context) { panic("undeferred boom") }, If(false))
+			})
+		}},
+		{"PanicWithSiblingsDraining", func(c *Context) {
+			c.Single(func(c *Context) {
+				for i := 0; i < 16; i++ {
+					c.Task(func(c *Context) {})
+				}
+				c.Task(func(c *Context) { panic("boom among siblings") })
+				c.Taskwait()
+			})
+		}},
+	}
+
+	runs := 0
+	for _, sched := range Schedulers() {
+		for _, cut := range []CutoffPolicy{NoCutoff{}, MaxTasks{Limit: 2}, MaxDepth{Limit: 3}} {
+			for _, sc := range scenarios {
+				runs++
+				func() {
+					defer func() { recover() }() // panic scenarios re-raise; the hook already ran
+					Parallel(4, sc.body, WithScheduler(sched), WithCutoff(cut))
+				}()
+			}
+		}
+	}
+	if got := checked.Load(); got != int64(runs) {
+		t.Fatalf("region-end hook observed %d regions, want %d", got, runs)
+	}
+}

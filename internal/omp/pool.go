@@ -1,0 +1,151 @@
+package omp
+
+import "sync"
+
+// Task recycling. The BOTS paper's central claim is that task-runtime
+// overheads — creation, queuing, stealing — decide which configuration
+// wins, and on this runtime the dominant creation cost was the
+// per-task heap allocation (one ~250-byte task struct plus one
+// execution Context per task). Recycling removes it in two tiers:
+//
+//  1. In-region, per-worker free lists recycle tasks that were never
+//     shared: an undeferred task that never acquired a deferred
+//     descendant is reachable only from its creator's stack, so its
+//     struct can be reset and reused immediately after finishInline.
+//     Under the runtime cut-offs (maxtasks/maxdepth/adaptive) the
+//     vast majority of tasks take exactly this path.
+//
+//  2. Cross-region, a global sync.Pool. Tasks that were enqueued are
+//     *stale-readable*: a thief in deque.stealIf may read a lagging
+//     ring slot and call pred on a task that has already finished, and
+//     pred (isDescendantOf) walks parent/depth of the task and its
+//     ancestors. Resetting any such task mid-region would race with
+//     those reads. They are instead buried on the finishing worker's
+//     grave list with their fields intact and recycled only at region
+//     end, after every worker goroutine has joined and no thief can
+//     exist.
+//
+// The visibility invariant that makes tier 1 safe: every ancestor of
+// an enqueued (stale-readable) task is itself unrecyclable in-region.
+// Creation marks the parent of each deferred task `visible`, and
+// finishInline propagates the mark one level up when a visible
+// undeferred task completes — both writes happen on the thread
+// executing the parent, so they need no synchronization. A task is
+// recycled in-region only when its visible flag is still clear.
+const (
+	// maxWorkerFreeTasks bounds the per-worker in-region free list.
+	maxWorkerFreeTasks = 512
+	// maxWorkerGrave bounds the per-worker grave; beyond it, finished
+	// shared tasks are simply dropped for the GC (a long region should
+	// not pin every task it ever ran).
+	maxWorkerGrave = 8192
+)
+
+// taskPool recycles task structs across parallel regions. Every task
+// in the pool is reset.
+var taskPool = sync.Pool{New: func() any { return new(task) }}
+
+// depTabPool recycles per-parent dependence tables (with their entry
+// free lists) across tasks and regions. Safe to Put mid-region: a
+// parent's table is only ever touched by the thread executing the
+// parent, and it is recycled when that parent finishes.
+var depTabPool = sync.Pool{New: func() any {
+	return &depTracker{entries: make(map[uintptr]*depEntry)}
+}}
+
+// newTask returns a reset task: from the worker's free list when the
+// in-region tier has one, else from the global pool.
+func (w *worker) newTask() *task {
+	if n := len(w.freeTasks) - 1; n >= 0 {
+		t := w.freeTasks[n]
+		w.freeTasks[n] = nil
+		w.freeTasks = w.freeTasks[:n]
+		return t
+	}
+	return taskPool.Get().(*task)
+}
+
+// recycle resets a never-shared task and returns it to the worker's
+// free list (tier 1). Caller guarantees no other goroutine can hold a
+// reference (the task was never enqueued and has no deferred
+// descendants).
+func (w *worker) recycle(t *task) {
+	t.reset()
+	if len(w.freeTasks) < maxWorkerFreeTasks {
+		w.freeTasks = append(w.freeTasks, t)
+	}
+}
+
+// bury records a finished shared task for region-end recycling
+// (tier 2). The task is NOT reset here: stale thief reads may still
+// inspect its creation-time fields until the region joins.
+func (w *worker) bury(t *task) {
+	if len(w.grave) < maxWorkerGrave {
+		w.grave = append(w.grave, t)
+	}
+}
+
+// releaseTasks drains the worker's recycling tiers into the global
+// pool. Called from Parallel after every worker goroutine has joined,
+// when no task of the region can be referenced anymore.
+func (w *worker) releaseTasks() {
+	for i, t := range w.freeTasks {
+		taskPool.Put(t) // already reset
+		w.freeTasks[i] = nil
+	}
+	w.freeTasks = nil
+	for i, t := range w.grave {
+		t.reset()
+		taskPool.Put(t)
+		w.grave[i] = nil
+	}
+	w.grave = nil
+}
+
+// reset zeroes a task for reuse. The mutex is left in place (it is
+// unlocked whenever reset can run) and atomics are stored through, so
+// the struct is never copied.
+func (t *task) reset() {
+	t.body = nil
+	t.parent = nil
+	t.team = nil
+	t.creator = nil
+	t.depth = 0
+	t.untied = false
+	t.final = false
+	t.visible = false
+	t.spawnedDeferred = false
+	t.priority = 0
+	t.pending.Store(0)
+	t.wake = nil
+	t.group = nil
+	t.node = nil
+	t.hasDeps = false
+	t.depsLeft.Store(0)
+	t.depDone = false
+	t.succs = nil
+	t.depTab = nil
+	t.latch = nil
+	t.ctx = Context{}
+}
+
+// newDepTab returns a cleared dependence table for a parent task.
+func newDepTab() *depTracker {
+	return depTabPool.Get().(*depTracker)
+}
+
+// recycleDepTab clears a finished parent's dependence table and
+// returns it to the pool. The entry structs are kept on the tracker's
+// own free list, so a reused table allocates no entries either.
+func recycleDepTab(tr *depTracker) {
+	for a, e := range tr.entries {
+		e.lastOut = nil
+		for i := range e.readers {
+			e.readers[i] = nil // don't pin finished tasks across regions
+		}
+		e.readers = e.readers[:0]
+		tr.free = append(tr.free, e)
+		delete(tr.entries, a)
+	}
+	depTabPool.Put(tr)
+}

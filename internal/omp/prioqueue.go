@@ -68,3 +68,16 @@ func (q *prioQueue) take(pred func(*task) bool) *task {
 
 // size returns the current number of queued priority tasks.
 func (q *prioQueue) size() int64 { return int64(q.n.Load()) }
+
+// clearStale nils stale item slots beyond the live length (take's
+// truncating append leaves the last removed element duplicated in the
+// backing array) so a pooled queue does not pin dead tasks across
+// regions. Called only from quiescent contexts (scheduler Fini).
+func (q *prioQueue) clearStale() {
+	items := q.items[:cap(q.items)]
+	for i := range items {
+		items[i] = prioItem{}
+	}
+	q.items = q.items[:0]
+	q.n.Store(0)
+}

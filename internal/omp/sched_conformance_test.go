@@ -50,7 +50,7 @@ func TestSchedulerRegistry(t *testing.T) {
 
 // TestCutoffRegistry checks the runtime cut-off name vocabulary.
 func TestCutoffRegistry(t *testing.T) {
-	for _, name := range []string{"none", "maxtasks", "maxqueue", "adaptive"} {
+	for _, name := range []string{"none", "maxtasks", "maxqueue", "maxdepth", "adaptive"} {
 		if _, err := NewCutoff(name); err != nil {
 			t.Errorf("NewCutoff(%q): %v", name, err)
 		}

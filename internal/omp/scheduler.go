@@ -159,30 +159,62 @@ type dequeScheduler struct {
 }
 
 // schedSlot is one worker's queue state, padded so owner-written
-// fields of adjacent slots do not share a cache line.
+// fields of adjacent slots do not share a cache line. qp is the
+// pooled wrapper the queues arrived in, kept so Fini can return it
+// without allocating a fresh one.
 type schedSlot struct {
 	dq         *deque
 	pq         *prioQueue
+	qp         *queuePair
 	rng        uint64 // victim-selection PRNG state, owner-only
 	lastVictim int    // last successful steal victim, owner-only
-	_          [24]byte
+	_          [16]byte
 }
+
+// queuePair is the pooled storage unit of the distributed schedulers:
+// one worker's deque and priority queue, kept (with their grown rings
+// and item arrays) across parallel regions. A scheduler instance
+// belongs to one region, but its queue storage is the steady-state
+// allocation cost of opening a region — pooling it means a program
+// that opens regions in a loop stops allocating queue storage at all.
+type queuePair struct {
+	dq *deque
+	pq *prioQueue
+}
+
+var queuePairPool = sync.Pool{New: func() any {
+	return &queuePair{dq: newDeque(), pq: &prioQueue{}}
+}}
 
 func (d *dequeScheduler) Name() string { return d.name }
 
 func (d *dequeScheduler) Init(n int) {
 	d.ws = make([]schedSlot, n)
 	for i := range d.ws {
+		q := queuePairPool.Get().(*queuePair)
 		d.ws[i] = schedSlot{
-			dq:         newDeque(),
-			pq:         &prioQueue{},
+			dq:         q.dq,
+			pq:         q.pq,
+			qp:         q,
 			rng:        uint64(i)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d,
 			lastVictim: -1,
 		}
 	}
 }
 
-func (d *dequeScheduler) Fini() {}
+// Fini returns the (drained) queue storage to the pool, clearing
+// stale task pointers first so pooled queues do not pin the finished
+// region's tasks.
+func (d *dequeScheduler) Fini() {
+	for i := range d.ws {
+		s := &d.ws[i]
+		s.dq.clearStale()
+		s.pq.clearStale()
+		queuePairPool.Put(s.qp)
+		s.dq, s.pq, s.qp = nil, nil, nil
+	}
+	d.ws = nil
+}
 
 func (d *dequeScheduler) Push(self int, t *task) {
 	s := &d.ws[self]
@@ -313,15 +345,45 @@ func nextRand(state *uint64) uint64 {
 // which is exactly the contention-vs-balance trade-off the
 // centralized-vs-distributed ablation measures.
 type centralScheduler struct {
-	pq   prioQueue // shared: prioritized tasks, drained before the FIFO
-	mu   sync.Mutex
-	fifo []*task // shared FIFO; head is the index of the oldest task
-	head int
+	pq      *prioQueue // shared: prioritized tasks, drained before the FIFO
+	mu      sync.Mutex
+	fifo    []*task // shared FIFO; head is the index of the oldest task
+	head    int
+	storage *centralStorage // pooled wrapper, returned whole in Fini
 }
 
+// centralStorage is the pooled queue storage of the centralized
+// scheduler: the FIFO's backing array and the shared priority queue
+// survive the per-region scheduler instance (the distributed
+// schedulers pool their queue storage the same way; see
+// queuePairPool).
+type centralStorage struct {
+	fifo []*task
+	pq   *prioQueue
+}
+
+var centralStoragePool = sync.Pool{New: func() any {
+	return &centralStorage{fifo: make([]*task, 0, initialDequeCap), pq: &prioQueue{}}
+}}
+
 func (c *centralScheduler) Name() string { return "centralized" }
-func (c *centralScheduler) Init(n int)   {}
-func (c *centralScheduler) Fini()        {}
+
+func (c *centralScheduler) Init(n int) {
+	c.storage = centralStoragePool.Get().(*centralStorage)
+	c.fifo = c.storage.fifo[:0]
+	c.pq = c.storage.pq
+}
+
+func (c *centralScheduler) Fini() {
+	fifo := c.fifo[:cap(c.fifo)]
+	for i := range fifo {
+		fifo[i] = nil
+	}
+	c.storage.fifo = fifo[:0]
+	c.pq.clearStale()
+	centralStoragePool.Put(c.storage)
+	c.fifo, c.head, c.pq, c.storage = nil, 0, nil, nil
+}
 
 func (c *centralScheduler) Push(self int, t *task) {
 	if t.priority != 0 {

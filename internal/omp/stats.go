@@ -20,9 +20,10 @@ type Stats struct {
 	// back empty. Under a pool scheduler (one shared queue, nothing
 	// worker-local to steal) every attempt fails by construction.
 	StealAttempts, StealFails int64
-	// IdleParks is the number of idle back-off streaks workers entered
-	// while waiting at team barriers with no runnable task (each
-	// streak of consecutive empty probes counts once).
+	// IdleParks is the number of times a worker exhausted its bounded
+	// spin budget at a team barrier and parked on the team doorbell
+	// (woken by the next task enqueue or by barrier completion). Each
+	// park counts once; spinning probes do not count.
 	IdleParks int64
 	// Taskwaits is the number of taskwait operations executed.
 	Taskwaits int64

@@ -20,6 +20,26 @@ type task struct {
 	final    bool
 	priority int32
 
+	// visible marks tasks whose pointer may be reachable outside the
+	// executing thread — every enqueued task, and every ancestor of an
+	// enqueued task (stale thief reads walk parent chains; see
+	// pool.go). Only !visible tasks are recycled in-region. Written
+	// exclusively by the thread executing the task's parent.
+	visible bool
+
+	// spawnedDeferred marks tasks that (transitively through inline
+	// children) acquired a deferred descendant: constraint predicates
+	// may walk up to this task from a queued descendant, so it cannot
+	// be recycled at finish even on a single-worker team. Written
+	// exclusively by the thread executing the task.
+	spawnedDeferred bool
+
+	// ctx is the task's reusable execution context: execute and the
+	// undeferred path hand &ctx to the body, saving a per-execution
+	// Context allocation (the pointer escapes through the indirect
+	// body call, so a literal &Context{} would always heap-allocate).
+	ctx Context
+
 	// pending counts outstanding (created, not yet finished) child
 	// tasks; taskwait blocks until it reaches zero.
 	pending atomic.Int64
@@ -70,6 +90,18 @@ type taskConfig struct {
 	latch    *latch
 }
 
+// reset readies a (per-worker scratch) config for the next task
+// directive, keeping the deps backing array.
+func (cfg *taskConfig) reset() {
+	cfg.untied = false
+	cfg.ifClause = true
+	cfg.final = false
+	cfg.captured = 0
+	cfg.priority = 0
+	cfg.deps = cfg.deps[:0]
+	cfg.latch = nil
+}
+
 // Untied marks the task untied: at scheduling points, a thread
 // suspended in this task may execute or steal any ready task, not
 // only descendants. (Mid-execution migration to another thread is not
@@ -105,12 +137,26 @@ func (t *task) isDescendantOf(anc *task) bool {
 }
 
 // finish performs completion bookkeeping for t on worker w: release
-// dependent successor tasks, decrement the team's live-task count,
-// the enclosing taskgroup's live count, and the parent's pending
-// count, waking a parked taskwait if this was the last outstanding
-// child.
+// dependent successor tasks, recycle the dependence table of t's
+// children, decrement the team's live-task count, the enclosing
+// taskgroup's live count, and the parent's pending count, waking a
+// parked taskwait if this was the last outstanding child. The task
+// itself is buried for region-end recycling (it was enqueued, so
+// stale thief reads may still inspect it; see pool.go).
+//
+// finish and finishInline are the only two places the team live-task
+// count is decremented, and every task goes through exactly one of
+// them exactly once — deferred tasks through execute's deferred
+// finish (which runs once even when the body panics), undeferred
+// tasks through the Task undeferred path's deferred finishInline.
+// TestLiveTasksReturnToZero pins this invariant; recycling depends on
+// it (a double decrement would also double-recycle a task).
 func (t *task) finish(w *worker) {
 	t.releaseSuccessors(w)
+	if t.depTab != nil {
+		recycleDepTab(t.depTab)
+		t.depTab = nil
+	}
 	if p := t.parent; p != nil {
 		if p.pending.Add(-1) == 0 {
 			p.signalWake()
@@ -120,6 +166,16 @@ func (t *task) finish(w *worker) {
 		t.group.leave()
 	}
 	t.team.liveTasks.Add(-1)
+	// A single-worker team has no thieves, so finished deferred tasks
+	// are not stale-readable and can recycle immediately — unless a
+	// constraint walk can still reach this task from a queued
+	// descendant (spawnedDeferred) or the parent's dependence table
+	// still names it as a predecessor (hasDeps).
+	if len(t.team.workers) == 1 && !t.spawnedDeferred && !t.hasDeps {
+		w.recycle(t)
+		return
+	}
+	w.bury(t)
 }
 
 // signalWake delivers one wakeup token to a taskwait parked in t.

@@ -4,7 +4,6 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"bots/internal/trace"
 )
@@ -25,6 +24,17 @@ type Team struct {
 	// Barrier state (sense-reversing, task-executing).
 	barGen     atomic.Int64
 	barArrived atomic.Int64
+
+	// Doorbell for the bounded-spin→park idle protocol: workers that
+	// exhaust their spin budget at a barrier register in idleWaiters
+	// and block on the doorbell channel; every task enqueue and every
+	// barrier completion rings it. The channel's capacity is the team
+	// size, so a non-blocking send can never lose a wake while any
+	// worker still needs one (≤ n-1 parkers ⇒ a full buffer already
+	// holds a token for each). See barrier for the lost-wakeup
+	// argument.
+	idleWaiters atomic.Int32
+	doorbell    chan struct{}
 
 	// Worksharing bookkeeping: per-construct-instance state, keyed by
 	// each thread's private construct counter (all threads encounter
@@ -87,6 +97,24 @@ type worker struct {
 	loopIdx   int64 // private counter of loop constructs encountered
 	reduceIdx int64 // private counter of Reduce constructs encountered
 
+	// Task-recycling tiers (pool.go); owner-only.
+	freeTasks []*task
+	grave     []*task
+
+	// taskCfg is the scratch task-creation config Task/Spawn apply
+	// options into; owner-only. Living in the worker (already on the
+	// heap) keeps the opaque option calls from forcing a per-spawn
+	// heap allocation of the config.
+	taskCfg taskConfig
+
+	// Reusable constraint predicate: runOne installs the suspended
+	// tied task in predConstraint and hands schedulers predFn, so a
+	// constrained pick allocates no closure. predFn is built once per
+	// worker; predConstraint is only read during the synchronous
+	// PopLocal/Steal calls of this worker's own runOne.
+	predConstraint *task
+	predFn         func(*task) bool
+
 	stats workerStats
 }
 
@@ -116,6 +144,7 @@ func Parallel(n int, body func(*Context), opts ...TeamOpt) *Stats {
 		cutoff:    cfg.cutoff,
 		sched:     cfg.sched,
 		rec:       cfg.rec,
+		doorbell:  make(chan struct{}, n),
 		wsSingles: make(map[int64]bool),
 		wsLoops:   make(map[int64]*loopState),
 		wsReduces: make(map[int64]bool),
@@ -124,8 +153,11 @@ func Parallel(n int, body func(*Context), opts ...TeamOpt) *Stats {
 	tm.workers = make([]*worker, n)
 	implicit := make([]*task, n)
 	for i := 0; i < n; i++ {
-		tm.workers[i] = &worker{id: i, team: tm}
-		it := &task{team: tm, untied: false}
+		w := &worker{id: i, team: tm}
+		w.predFn = func(c *task) bool { return c.isDescendantOf(w.predConstraint) }
+		tm.workers[i] = w
+		it := taskPool.Get().(*task)
+		it.team = tm
 		if tm.rec != nil {
 			it.node = tm.rec.Root()
 		}
@@ -145,7 +177,8 @@ func Parallel(n int, body func(*Context), opts ...TeamOpt) *Stats {
 						tm.recordPanic(r)
 					}
 				}()
-				body(&Context{w: w, task: it})
+				it.ctx = Context{w: w, task: it}
+				body(&it.ctx)
 			}()
 			// Join the final barrier even if the body panicked, so
 			// the rest of the team is not wedged waiting for us.
@@ -154,18 +187,57 @@ func Parallel(n int, body func(*Context), opts ...TeamOpt) *Stats {
 	}
 	wg.Wait()
 	tm.sched.Fini()
+	if regionEndHook != nil {
+		regionEndHook(tm)
+	}
+	// Every worker goroutine has joined: no thief or waiter can hold a
+	// task reference, so the region's tasks recycle into the global
+	// pool (pool.go) — including on the panic path.
+	for _, w := range tm.workers {
+		w.releaseTasks()
+	}
+	for _, it := range implicit {
+		it.reset()
+		taskPool.Put(it)
+	}
 	if tm.panicVal != nil {
 		panic(tm.panicVal)
 	}
 	return tm.aggregateStats()
 }
 
+// regionEndHook, when non-nil, observes each team after its final
+// barrier and before task recycling. Tests use it to assert region
+// invariants (e.g. the live-task count returning to zero).
+var regionEndHook func(*Team)
+
+// barrierSpinRounds is the bounded spin budget: consecutive empty
+// probes a worker makes at a barrier before it parks on the team
+// doorbell. Short enough that an idle worker stops burning its core
+// (and stops hammering other workers' queue tops with failing steal
+// CASes) almost immediately; long enough to ride out the common
+// task-about-to-be-pushed window without a park/wake round trip.
+const barrierSpinRounds = 32
+
 // barrier is the team barrier: a scheduling point at which arriving
 // workers execute queued tasks (from any queue, unconstrained) until
 // every worker has arrived and no live task remains, as OpenMP
 // requires of barriers.
+//
+// Idle protocol (bounded spin → park): after barrierSpinRounds empty
+// probes the worker registers in idleWaiters, re-probes once, and
+// blocks on the doorbell. The re-probe after registration is what
+// makes the park lose no wakeups: an enqueuer writes its queue before
+// loading idleWaiters, and a parker increments idleWaiters before
+// reading the queues — both through sequentially-consistent atomics —
+// so either the parker's re-probe sees the task or the enqueuer sees
+// the registration and rings. Barrier completion rings once per
+// worker, so the last arrival also releases every parked peer.
+// Spurious tokens (from wakes that found nothing) are bounded by the
+// channel capacity and simply cause one extra probe round.
 func (tm *Team) barrier(w *worker) {
 	w.stats.barriers++
+	n := int64(len(tm.workers))
 	gen := tm.barGen.Load()
 	tm.barArrived.Add(1)
 	idle := 0
@@ -174,29 +246,58 @@ func (tm *Team) barrier(w *worker) {
 			idle = 0
 			continue
 		}
-		if tm.barArrived.Load() == int64(len(tm.workers)) && tm.liveTasks.Load() == 0 {
-			if tm.barArrived.CompareAndSwap(int64(len(tm.workers)), 0) {
+		if tm.barArrived.Load() == n && tm.liveTasks.Load() == 0 {
+			if tm.barArrived.CompareAndSwap(n, 0) {
 				tm.barGen.Add(1)
+				tm.ringAll()
 			}
 			continue
 		}
 		idle++
-		if idle == 1 {
-			w.stats.idleParks++
+		if idle < barrierSpinRounds {
+			if idle > 4 {
+				runtime.Gosched()
+			}
+			continue
 		}
-		idlePause(idle)
+		// Spin budget exhausted: park until an enqueue or the barrier
+		// completion rings. Register first, then re-check every wake
+		// condition (runnable task, completable or completed barrier)
+		// so no concurrent ring can be missed.
+		tm.idleWaiters.Add(1)
+		if w.runOne(nil) || tm.barGen.Load() != gen ||
+			(tm.barArrived.Load() == n && tm.liveTasks.Load() == 0) {
+			tm.idleWaiters.Add(-1)
+			idle = 0
+			continue
+		}
+		w.stats.idleParks++ // counted only when the worker truly blocks
+		<-tm.doorbell
+		tm.idleWaiters.Add(-1)
+		idle = 0
 	}
 }
 
-// idlePause backs off progressively: spin, yield, then sleep briefly.
-func idlePause(n int) {
-	switch {
-	case n < 4:
-		// busy spin
-	case n < 64:
-		runtime.Gosched()
-	default:
-		time.Sleep(20 * time.Microsecond)
+// ring wakes one parked worker, if any. Called after every task
+// enqueue (see worker.enqueue). The load-then-send is cheap enough
+// for the spawn hot path: with no parker registered it is a single
+// atomic load.
+func (tm *Team) ring() {
+	if tm.idleWaiters.Load() > 0 {
+		select {
+		case tm.doorbell <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// ringAll wakes every parked worker (barrier completion).
+func (tm *Team) ringAll() {
+	for range tm.workers {
+		select {
+		case tm.doorbell <- struct{}{}:
+		default:
+		}
 	}
 }
 
@@ -212,7 +313,12 @@ func idlePause(n int) {
 func (w *worker) runOne(constraint *task) bool {
 	var pred func(*task) bool
 	if constraint != nil {
-		pred = func(c *task) bool { return c.isDescendantOf(constraint) }
+		// Reuse the worker's prebuilt predicate closure instead of
+		// allocating one per call; predConstraint is only read inside
+		// the synchronous scheduler calls below, so a nested runOne
+		// (from a task body suspended deeper) may freely overwrite it.
+		w.predConstraint = constraint
+		pred = w.predFn
 	}
 	sched := w.team.sched
 	t := sched.PopLocal(w.id, pred)
@@ -249,7 +355,8 @@ func (w *worker) execute(t *task, stolen bool) {
 		t.finish(w)
 		w.cur = prev
 	}()
-	t.body(&Context{w: w, task: t})
+	t.ctx = Context{w: w, task: t}
+	t.body(&t.ctx)
 }
 
 // recordPanic stores the first panic raised by any task or region

@@ -1,0 +1,47 @@
+package perf
+
+import (
+	_ "embed"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// baselineJSON is the committed baseline: a full-mode suite run on
+// the pre-optimization runtime (the "current main" the hot-path
+// overhaul was measured against), so BENCH_0.json records the
+// overhaul's improvement. Regenerate with
+//
+//	go run ./cmd/botsbench -write-baseline internal/perf/baseline.json
+//
+// whenever a deliberate performance change lands and the trajectory
+// should re-anchor — the next performance PR should re-anchor to the
+// post-overhaul values. Until then, the gate against this baseline is
+// deliberately loose around the new ~0 allocs/task steady state; the
+// hard floor protecting the overhaul itself is the absolute bounds in
+// internal/omp/alloc_test.go (≤1 alloc/task), which tier-1 CI runs on
+// every push.
+//
+//go:embed baseline.json
+var baselineJSON []byte
+
+// LoadBaseline returns the baseline report at path, or the embedded
+// committed baseline when path is empty.
+func LoadBaseline(path string) (*Report, error) {
+	raw := baselineJSON
+	if path != "" {
+		var err error
+		raw, err = os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("perf: reading baseline: %w", err)
+		}
+	}
+	var r Report
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("perf: decoding baseline: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("perf: baseline: %w", err)
+	}
+	return &r, nil
+}

@@ -1,0 +1,63 @@
+package perf
+
+import (
+	"bots/internal/lab"
+	"bots/internal/omp"
+)
+
+// LabRecords converts a report into lab Records — one per metric —
+// so a benchmark run lands in the same JSONL store (and HTTP API)
+// sweep results use. The mapping pins Bench to "perf" and carries the
+// metric identity in Version, so the records content-address stably:
+// re-running the suite supersedes the previous measurement of each
+// metric (the store's last-wins rule) instead of piling up rows.
+func LabRecords(r *Report) []*lab.Record {
+	out := make([]*lab.Record, 0, len(r.Metrics))
+	for _, m := range r.Metrics {
+		spec := lab.JobSpec{
+			Bench:   "perf",
+			Version: m.Name,
+			Class:   "bench",
+			Threads: 1,
+		}
+		rec := &lab.Record{
+			Key:       spec.Key(),
+			Spec:      spec,
+			Host:      r.Host,
+			CreatedAt: r.CreatedAt,
+			Metric:    m.Value,
+			Verified:  true,
+		}
+		// Attach runtime counters only when the metric actually carries
+		// them (steal/macro probes); a metric whose Extra has none of
+		// these keys gets no Stats rather than a misleading all-zero one.
+		st := &omp.Stats{}
+		hasStats := false
+		for key, dst := range map[string]*int64{
+			"tasks_stolen":   &st.TasksStolen,
+			"steal_attempts": &st.StealAttempts,
+			"steal_fails":    &st.StealFails,
+			"idle_parks":     &st.IdleParks,
+		} {
+			if v, ok := m.Extra[key]; ok {
+				*dst = int64(v)
+				hasStats = true
+			}
+		}
+		if hasStats {
+			rec.Stats = st
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// AppendToStore writes every metric of the report into the lab store.
+func AppendToStore(s *lab.Store, r *Report) error {
+	for _, rec := range LabRecords(r) {
+		if err := s.Put(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}

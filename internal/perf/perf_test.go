@@ -1,0 +1,226 @@
+package perf
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"bots/internal/lab"
+)
+
+func sampleReport() *Report {
+	return &Report{
+		Schema:    Schema,
+		CreatedAt: time.Date(2026, 7, 28, 0, 0, 0, 0, time.UTC),
+		Host:      lab.CurrentHost(),
+		Metrics: []Metric{
+			{Name: "a/allocs", Value: 4, Unit: "allocs/task", Better: "lower", Gate: true},
+			{Name: "a/rate", Value: 100, Unit: "tasks/s", Better: "higher", Params: "n=5"},
+			{Name: "a/elapsed", Value: 1000, Unit: "ns", Better: "lower", Params: "class=test"},
+		},
+	}
+}
+
+func TestReportValidate(t *testing.T) {
+	r := sampleReport()
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := sampleReport()
+	bad.Schema = "bogus"
+	if bad.Validate() == nil {
+		t.Error("unknown schema should fail validation")
+	}
+	dup := sampleReport()
+	dup.Metrics = append(dup.Metrics, dup.Metrics[0])
+	if dup.Validate() == nil {
+		t.Error("duplicate metric key should fail validation")
+	}
+	wrongDir := sampleReport()
+	wrongDir.Metrics[0].Better = "sideways"
+	if wrongDir.Validate() == nil {
+		t.Error("invalid better direction should fail validation")
+	}
+}
+
+func TestCompareGatesOnlyGatedMetrics(t *testing.T) {
+	base := sampleReport()
+	cur := sampleReport()
+	cur.Metrics[0].Value = 6    // gated, lower-is-better: +50% — regression
+	cur.Metrics[1].Value = 10   // informational, -90% — reported, not gated
+	cur.Metrics[2].Value = 5000 // informational, +400% — reported, not gated
+
+	cmp := Compare(cur, base, 0.25)
+	if cmp.Regressions != 1 {
+		t.Fatalf("regressions = %d, want 1 (only the gated metric)", cmp.Regressions)
+	}
+	if len(cmp.Deltas) != 3 {
+		t.Fatalf("deltas = %d, want 3", len(cmp.Deltas))
+	}
+	if !cmp.Deltas[0].Regression || cmp.Deltas[1].Regression || cmp.Deltas[2].Regression {
+		t.Fatalf("regression flags wrong: %+v", cmp.Deltas)
+	}
+	if cur.Comparison != cmp {
+		t.Fatal("comparison not attached to the current report")
+	}
+
+	// Within threshold: no regression.
+	cur2 := sampleReport()
+	cur2.Metrics[0].Value = 4.8 // +20% < 25%
+	if got := Compare(cur2, base, 0.25); got.Regressions != 0 {
+		t.Fatalf("within-threshold change flagged: %+v", got)
+	}
+
+	// Improvement on a gated lower-is-better metric: never a regression.
+	cur3 := sampleReport()
+	cur3.Metrics[0].Value = 0.1
+	cmp3 := Compare(cur3, base, 0.25)
+	if cmp3.Regressions != 0 || !cmp3.Deltas[0].Improved {
+		t.Fatalf("improvement misclassified: %+v", cmp3.Deltas[0])
+	}
+}
+
+func TestCompareSkipsMismatchedParams(t *testing.T) {
+	base := sampleReport()
+	cur := sampleReport()
+	cur.Metrics[2].Params = "class=small" // full-mode run vs quick baseline
+	cmp := Compare(cur, base, 0.25)
+	for _, d := range cmp.Deltas {
+		if d.Name == "a/elapsed" {
+			t.Fatalf("metric with mismatched params should not be compared: %+v", d)
+		}
+	}
+	if len(cmp.Deltas) != 2 {
+		t.Fatalf("deltas = %d, want 2", len(cmp.Deltas))
+	}
+}
+
+func TestWriteReadReportAndNextBenchPath(t *testing.T) {
+	dir := t.TempDir()
+	p, err := NextBenchPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(p) != "BENCH_0.json" {
+		t.Fatalf("first path = %s, want BENCH_0.json", p)
+	}
+	if err := WriteReport(sampleReport(), p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Metrics) != 3 || got.Metrics[0].Name != "a/allocs" {
+		t.Fatalf("round-trip lost metrics: %+v", got.Metrics)
+	}
+	// Trajectory is append-only: next index follows the highest.
+	if err := os.Rename(p, filepath.Join(dir, "BENCH_7.json")); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := NextBenchPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(p2) != "BENCH_8.json" {
+		t.Fatalf("next path = %s, want BENCH_8.json", p2)
+	}
+}
+
+// TestEmbeddedBaseline pins the committed baseline: it must parse,
+// validate, and contain the gated spawn-path allocation metrics the
+// CI gate is stated in terms of — with the pre-overhaul values, so
+// the trajectory records the improvement.
+func TestEmbeddedBaseline(t *testing.T) {
+	base, err := LoadBaseline("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := base.Metric("fib/spawn-allocs")
+	if !ok {
+		t.Fatal("embedded baseline lacks fib/spawn-allocs")
+	}
+	if !m.Gate || m.Better != "lower" {
+		t.Fatalf("fib/spawn-allocs misconfigured in baseline: %+v", m)
+	}
+	if m.Value < 3.5 {
+		t.Fatalf("baseline fib/spawn-allocs = %v; expected the pre-overhaul ~4 allocs/task (re-anchor deliberately, not accidentally)", m.Value)
+	}
+}
+
+func TestLabRecords(t *testing.T) {
+	rep := sampleReport()
+	rep.Metrics[1].Extra = map[string]float64{"steal_attempts": 7, "steal_fails": 3}
+	recs := LabRecords(rep)
+	if len(recs) != len(rep.Metrics) {
+		t.Fatalf("records = %d, want %d", len(recs), len(rep.Metrics))
+	}
+	keys := map[string]bool{}
+	for i, r := range recs {
+		if r.Spec.Bench != "perf" || r.Spec.Version != rep.Metrics[i].Name {
+			t.Fatalf("record spec mismapped: %+v", r.Spec)
+		}
+		if r.Key == "" || keys[r.Key] {
+			t.Fatalf("record keys must be unique and stable, got %q", r.Key)
+		}
+		keys[r.Key] = true
+		if r.Metric != rep.Metrics[i].Value {
+			t.Fatalf("metric value lost: %v != %v", r.Metric, rep.Metrics[i].Value)
+		}
+	}
+	if recs[1].Stats == nil || recs[1].Stats.StealAttempts != 7 {
+		t.Fatalf("extra counters not carried into stats: %+v", recs[1].Stats)
+	}
+
+	// Same-metric re-runs supersede in a store (last wins by key).
+	store, err := lab.OpenStore("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendToStore(store, rep); err != nil {
+		t.Fatal(err)
+	}
+	rep.Metrics[0].Value = 9
+	if err := AppendToStore(store, rep); err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != len(rep.Metrics) {
+		t.Fatalf("store has %d keys, want %d (re-runs must supersede)", store.Len(), len(rep.Metrics))
+	}
+}
+
+// TestQuickSuiteSmoke runs the real measurement suite at its smallest
+// size: the emitted report must validate and carry every pinned
+// metric family.
+func TestQuickSuiteSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs benchmarks")
+	}
+	rep, err := Run(Options{Quick: true, Threads: 2, Reps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"fib/spawn-allocs", "fib/spawn-allocs-undeferred", "future/spawn-allocs",
+		"fib/spawn-rate", "nqueens/spawn-rate",
+		"steal/workfirst/throughput", "steal/centralized/throughput",
+		"sort/elapsed", "strassen/elapsed",
+	} {
+		if _, ok := rep.Metric(want); !ok {
+			t.Errorf("suite report lacks %s", want)
+		}
+	}
+	// The overhauled runtime must keep the gated headline under the
+	// committed pre-overhaul baseline by a wide margin (the ≥20%
+	// reduction the overhaul was acceptance-tested against).
+	base, err := LoadBaseline("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, _ := rep.Metric("fib/spawn-allocs")
+	old, _ := base.Metric("fib/spawn-allocs")
+	if cur.Value > old.Value*0.8 {
+		t.Errorf("fib/spawn-allocs = %v, want at least 20%% under the %v baseline", cur.Value, old.Value)
+	}
+}
