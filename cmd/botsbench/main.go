@@ -2,19 +2,26 @@
 // and emits the next BENCH_<n>.json of the repository's perf
 // trajectory: spawn-path allocation counts (gated, host-independent),
 // fib/nqueens spawn rates, per-scheduler steal throughput with
-// contention counters, and sort/strassen end-to-end times — compared
-// against the committed baseline (internal/perf/baseline.json).
+// contention counters, the strong-scaling suite (per-point speedup
+// and gated parallel efficiency for fib/sort/strassen/nqueens/
+// sparselu at 1,2,4,… workers), and sort/strassen end-to-end times —
+// compared against the committed baseline
+// (internal/perf/baseline.json).
 //
 // Continuous use:
 //
 //	botsbench                      # full suite, writes ./BENCH_<n>.json
 //	botsbench -quick               # CI smoke sizes, gate still enforced
 //	botsbench -store bots-lab.jsonl  # also ingest metrics into the lab store
+//	botsbench -compare BENCH_0.json BENCH_1.json  # delta table, any two reports
 //
 // The process exits non-zero when a gated metric regresses more than
 // -max-regression against the baseline, so CI can run it directly.
 // Timing metrics are informational (the committed baseline was
-// measured on a different host than CI) and never fail the gate.
+// measured on a different host than CI) and never fail the gate;
+// scaling-efficiency metrics are gated but pin the measuring host's
+// CPU count in their params, so they only compare against baselines
+// from an equivalent host.
 //
 // Re-anchoring after a deliberate performance change:
 //
@@ -41,8 +48,23 @@ func main() {
 		maxReg   = flag.Float64("max-regression", 0.25, "gated-metric regression threshold (fraction)")
 		storeOpt = flag.String("store", "", "lab JSONL store to ingest the metrics into (optional)")
 		writeTo  = flag.String("write-baseline", "", "write the run as a new baseline to this path and skip comparison")
+		compare  = flag.Bool("compare", false, "compare two report files (botsbench -compare a.json b.json) and print a delta table instead of running the suite")
 	)
 	flag.Parse()
+
+	if *compare {
+		args := flag.Args()
+		if len(args) != 2 {
+			fmt.Fprintln(os.Stderr, "botsbench: -compare needs exactly two report files (old new)")
+			os.Exit(2)
+		}
+		a, err := perf.ReadReport(args[0])
+		fatal(err)
+		b, err := perf.ReadReport(args[1])
+		fatal(err)
+		fmt.Print(perf.FormatComparison(a, b))
+		return
+	}
 
 	rep, err := perf.Run(perf.Options{Quick: *quick, Threads: *threads, Reps: *reps})
 	fatal(err)

@@ -75,7 +75,6 @@ func (c *Context) spawnTask(body func(*Context), cfg *taskConfig) {
 	t.priority = cfg.priority
 	t.group = parent.group
 	t.hasDeps = hasDeps
-	t.latch = cfg.latch
 	if tm.rec != nil {
 		t.node = tm.rec.Spawn(parent.node, cfg.untied, !deferred, cfg.captured)
 		if cfg.priority != 0 {

@@ -20,7 +20,10 @@ import (
 // writer; the table is only ever touched by the thread currently
 // executing the parent (task creation is a parent-side operation), so
 // it needs no lock. The per-task successor lists *are* shared with
-// finishing workers and are guarded by the task's depMu.
+// finishing workers; they are lock-free — creation CAS-pushes nodes
+// onto the predecessor's succHead and the completion path swaps in a
+// closed sentinel, so neither side ever blocks the other (see
+// releaseSuccessors).
 //
 // See DESIGN.md for the full protocol, including why a released task
 // must wake parked waiters.
@@ -144,14 +147,26 @@ func (tr *depTracker) resolve(t *task, deps []dep, w *worker) int64 {
 		if t.node != nil && p.node != nil {
 			t.node.DependsOn(p.node)
 		}
-		p.depMu.Lock()
-		if p.depDone {
-			p.depMu.Unlock()
-			return
-		}
+		// Lock-free successor attach: count the predecessor first, then
+		// CAS-push a node onto p's successor list. A predecessor that
+		// completes concurrently swaps in the closed sentinel; losing to
+		// it means p already finished, so the count is taken back (the
+		// creation guard keeps depsLeft above zero, so the decrement can
+		// never release t mid-resolution).
 		t.depsLeft.Add(1)
-		p.succs = append(p.succs, t)
-		p.depMu.Unlock()
+		n := w.newSuccNode(t)
+		for {
+			head := p.succHead.Load()
+			if head == succListClosed {
+				t.depsLeft.Add(-1)
+				w.freeSuccNode(n)
+				return
+			}
+			n.next = head
+			if p.succHead.CompareAndSwap(head, n) {
+				return
+			}
+		}
 	}
 	for _, d := range deps {
 		e := tr.entry(d.addr)
@@ -175,47 +190,58 @@ func (tr *depTracker) resolve(t *task, deps []dep, w *worker) int64 {
 	return edges
 }
 
+// succNode is one entry of a task's lock-free successor list. Nodes
+// are recycled through per-worker free lists (newSuccNode), so
+// steady-state dependence resolution allocates no list storage.
+type succNode struct {
+	t    *task
+	next *succNode
+}
+
+// succListClosed is the closed sentinel: a task whose succHead holds
+// it has finished, and no successor may attach anymore. It is only
+// ever compared against, never dereferenced.
+var succListClosed = &succNode{}
+
 // releaseSuccessors performs the completion side of the dependence
-// protocol: mark t done (so no new successors can attach) and hand
-// every successor whose last predecessor was t to worker w's queues.
+// protocol: close t's successor list with one sentinel swap (so no
+// new successor can attach) and hand every successor whose last
+// predecessor was t to worker w's queues. The swap is the only
+// synchronization between completion and concurrent task creation —
+// neither side takes a lock (the old protocol serialized both through
+// a per-task mutex).
 func (t *task) releaseSuccessors(w *worker) {
 	if !t.hasDeps {
 		// Only tasks that declared depend clauses can appear in the
 		// parent's dependence table, so only they can ever acquire
-		// successors; the common fire-and-forget path stays lock-free.
+		// successors; the common fire-and-forget path stays untouched.
 		return
 	}
-	t.depMu.Lock()
-	t.depDone = true
-	succs := t.succs
-	t.succs = nil
-	t.depMu.Unlock()
-	for _, s := range succs {
+	head := t.succHead.Swap(succListClosed)
+	for n := head; n != nil && n != succListClosed; {
+		s, next := n.t, n.next
+		w.freeSuccNode(n)
 		if s.depsLeft.Add(-1) == 0 {
 			w.stats.depReleases++
 			w.enqueueReleased(s)
 		}
+		n = next
 	}
 }
 
 // enqueueReleased makes a dependence-released task runnable on w and
-// wakes any parked waiter that may now be able to execute or steal
-// it. The wakes are what keep the runtime deadlock-free: unlike a
-// freshly created task (which its creator can always reach at the
-// bottom of its own deque before parking), a released task appears in
-// an arbitrary worker's queue while the tasks waiting on it may
-// already be parked.
+// broadcasts to parked condition waiters, who may now be able to
+// execute or steal it. The broadcast is what keeps the runtime
+// deadlock-free: unlike a freshly created task (which its creator can
+// always reach at the bottom of its own deque before parking), a
+// released task appears in an arbitrary worker's queue while the
+// tasks waiting on it — a taskwait in its parent, a Taskgroup drain,
+// a Future.Wait on its result — may already be parked. One team-bell
+// broadcast reaches all of them (the old protocol signalled the
+// parent, the group and the future latch individually).
 func (w *worker) enqueueReleased(t *task) {
 	w.enqueue(t)
-	if p := t.parent; p != nil {
-		p.signalWake()
-	}
-	if t.group != nil {
-		t.group.signal()
-	}
-	if t.latch != nil {
-		t.latch.signal()
-	}
+	w.team.wakeWaiters()
 }
 
 // enqueue hands a ready task to the team's scheduler on behalf of w,

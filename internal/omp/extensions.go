@@ -31,7 +31,12 @@ func (c *Context) Taskgroup(body func(*Context)) {
 	c.task.group = tg
 	body(c)
 	c.task.group = prev
-	// Drain: execute tasks while the group has live members.
+	// Drain: execute tasks while the group has live members. A park
+	// blocks on the team waitBell; every descendant completion that
+	// empties the group broadcasts there (see task.finish and
+	// Team.wakeWaiters), as does a dependence release that makes a
+	// group member runnable (the parked drainer may be the only thread
+	// able to execute it).
 	constraint := c.task
 	if c.task.untied {
 		constraint = nil
@@ -40,65 +45,23 @@ func (c *Context) Taskgroup(body func(*Context)) {
 		if c.w.runOne(constraint) {
 			continue
 		}
-		tg.park()
+		c.w.team.waitPark(func() bool { return tg.live.Load() == 0 })
 	}
 }
 
 // taskgroup tracks the live descendant count of one taskgroup region.
+// It is a bare counter: parking and waking go through the team
+// waitBell, so the group needs no mutex or channel of its own.
 type taskgroup struct {
 	live atomic.Int64
-	wake chan struct{}
-	mu   spinlessMutex
 }
-
-// spinlessMutex is a tiny mutex built on a channel-free CAS loop with
-// Gosched; it avoids a sync.Mutex per taskgroup on the hot path.
-// (Taskgroups are rare; this keeps the struct small.)
-type spinlessMutex struct{ state atomic.Int32 }
-
-func (m *spinlessMutex) lock() {
-	for !m.state.CompareAndSwap(0, 1) {
-		// Taskgroup signalling sections are a handful of instructions;
-		// spinning is cheaper than parking here.
-	}
-}
-func (m *spinlessMutex) unlock() { m.state.Store(0) }
 
 func (tg *taskgroup) enter() { tg.live.Add(1) }
 
-func (tg *taskgroup) leave() {
-	if tg.live.Add(-1) == 0 {
-		tg.signal()
-	}
-}
-
-// signal delivers one wakeup token to a parked Taskgroup drain. It is
-// called when the group's live count reaches zero and when a
-// dependence release makes a group member runnable (the parked
-// drainer may be the only thread able to execute it).
-func (tg *taskgroup) signal() {
-	tg.mu.lock()
-	if tg.wake != nil {
-		select {
-		case tg.wake <- struct{}{}:
-		default:
-		}
-	}
-	tg.mu.unlock()
-}
-
-func (tg *taskgroup) park() {
-	tg.mu.lock()
-	if tg.live.Load() == 0 {
-		tg.mu.unlock()
-		return
-	}
-	if tg.wake == nil {
-		tg.wake = make(chan struct{}, 1)
-	}
-	ch := tg.wake
-	tg.mu.unlock()
-	<-ch
+// leave decrements the live count and reports whether the group just
+// emptied — the caller (task.finish) broadcasts on the team bell.
+func (tg *taskgroup) leave() bool {
+	return tg.live.Add(-1) == 0
 }
 
 // Sections executes each function on some thread of the team, at most

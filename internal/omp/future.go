@@ -2,52 +2,17 @@ package omp
 
 import "sync/atomic"
 
-// latch is a reusable broadcast wakeup: park blocks until the next
-// signal (or returns immediately if done already holds), and signal
-// wakes every parked goroutine by closing the current wait channel.
-// It generalizes the task/taskgroup park protocol to any number of
-// concurrent waiters, which futures need (several tasks may Wait on
-// the same Future).
-type latch struct {
-	mu   spinlessMutex
-	wake chan struct{}
-}
-
-// signal wakes all current parkers. Safe to call repeatedly.
-func (l *latch) signal() {
-	l.mu.lock()
-	if l.wake != nil {
-		close(l.wake)
-		l.wake = nil
-	}
-	l.mu.unlock()
-}
-
-// park blocks until signal, unless done() already holds. The
-// done-check runs under the latch lock, so a signal sent after done
-// became true cannot be missed.
-func (l *latch) park(done func() bool) {
-	l.mu.lock()
-	if done() {
-		l.mu.unlock()
-		return
-	}
-	if l.wake == nil {
-		l.wake = make(chan struct{})
-	}
-	ch := l.wake
-	l.mu.unlock()
-	<-ch
-}
-
 // Future is the typed result of a task created with Spawn: a
 // single-assignment cell the producing task fills and any task of the
 // region can Wait on. It is the structured alternative to writing
 // through a captured pointer and calling Taskwait.
+//
+// A blocked Wait parks on the team's waitBell (the same futex-style
+// word taskwait and Taskgroup use; see Team.wakeWaiters), so a Future
+// carries no park state of its own — just the value and a done flag.
 type Future[T any] struct {
 	val  T
 	done atomic.Bool
-	l    latch
 }
 
 // Done reports whether the producing task has completed.
@@ -65,15 +30,14 @@ func Spawn[T any](c *Context, fn func(*Context) T, opts ...TaskOpt) *Future[T] {
 	for _, o := range opts {
 		o(cfg)
 	}
-	// The future's latch rides in the config directly (rather than
-	// through an appended TaskOpt closure) so the hot path allocates
-	// only the Future and the producing body below; dependence release
-	// uses it to wake parked waiters (see enqueueReleased).
-	cfg.latch = &f.l
 	c.spawnTask(func(tc *Context) {
 		defer func() {
 			f.done.Store(true)
-			f.l.signal()
+			// Broadcast after publishing done: a Wait that registered
+			// on the bell and re-checked before this store is woken by
+			// the broadcast; one that re-checks after sees done and
+			// never parks (Team.wakeWaiters has the full argument).
+			tc.w.team.wakeWaiters()
 		}()
 		f.val = fn(tc)
 	}, cfg)
@@ -85,7 +49,8 @@ func Spawn[T any](c *Context, fn func(*Context) T, opts ...TaskOpt) *Future[T] {
 // calling thread executes other ready tasks while blocked, subject to
 // the OpenMP task scheduling constraint (suspended in a tied task it
 // may only run descendants of that task). Wait may be called from any
-// task of the region, any number of times, on any number of threads.
+// task of the region, any number of times, on any number of threads —
+// completion broadcasts on the team bell wake every parked waiter.
 //
 // When tracing, a blocking Wait is recorded as a taskwait event on
 // the waiting task: the trace format has no single-task join, so the
@@ -110,7 +75,7 @@ func (f *Future[T]) Wait(c *Context) T {
 			continue
 		}
 		w.stats.taskwaitParks++
-		f.l.park(f.done.Load)
+		w.team.waitPark(f.done.Load)
 	}
 	return f.val
 }

@@ -1,0 +1,115 @@
+package omp
+
+import "sync/atomic"
+
+// mpmcRing is a bounded lock-free multi-producer/multi-consumer queue
+// of *task, after Dmitry Vyukov's bounded MPMC queue: each slot
+// carries a sequence number that encodes, relative to the enqueue and
+// dequeue tickets, whether the slot is empty, full, or in transit.
+// Producers and consumers claim a ticket with one CAS and then touch
+// only their own slot, so under contention the operations scale with
+// the number of *distinct* slots touched, not with a single lock —
+// this is what replaces the centralized scheduler's mutex-guarded
+// FIFO (see centralScheduler), leaving the mutex to the constrained
+// scan and overflow slow paths only.
+//
+// The queue is FIFO, bounded (capacity fixed at construction, a power
+// of two), and linearizable per operation. tryPush fails on a full
+// ring and tryPop on an empty one; callers own the overflow policy.
+//
+// Memory ordering: a producer publishes the task pointer before the
+// seq store that makes the slot consumable, and a consumer reads the
+// pointer only after loading that seq — Go's atomics are sequentially
+// consistent, so the pointer field itself needs no atomic access (the
+// same release/acquire pattern the Go memory model documents for
+// publication). Consumed slots are nil'ed eagerly, so a drained ring
+// never pins finished tasks across pooled reuse (the defect the old
+// centralized FIFO's mid-removal had).
+type mpmcRing struct {
+	mask  uint64
+	slots []mpmcSlot
+	_     [40]byte // keep enq/deq off the slots header line
+	enq   atomic.Uint64
+	_     [56]byte // producers and consumers hammer different lines
+	deq   atomic.Uint64
+	_     [56]byte
+}
+
+type mpmcSlot struct {
+	seq atomic.Uint64
+	t   *task
+	_   [48]byte // one slot per cache line: adjacent slots are claimed
+	// by different workers in the common case
+}
+
+// newMPMCRing returns a ring with the given power-of-two capacity.
+func newMPMCRing(capacity uint64) *mpmcRing {
+	if capacity == 0 || capacity&(capacity-1) != 0 {
+		panic("omp: mpmcRing capacity must be a power of two")
+	}
+	r := &mpmcRing{mask: capacity - 1, slots: make([]mpmcSlot, capacity)}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// tryPush appends t, or reports false when the ring is full.
+func (r *mpmcRing) tryPush(t *task) bool {
+	pos := r.enq.Load()
+	for {
+		s := &r.slots[pos&r.mask]
+		seq := s.seq.Load()
+		switch diff := int64(seq) - int64(pos); {
+		case diff == 0:
+			if r.enq.CompareAndSwap(pos, pos+1) {
+				s.t = t
+				s.seq.Store(pos + 1) // publish: slot consumable
+				return true
+			}
+			pos = r.enq.Load()
+		case diff < 0:
+			// The slot one full lap behind is still occupied: full.
+			return false
+		default:
+			pos = r.enq.Load() // another producer advanced past us
+		}
+	}
+}
+
+// tryPop removes and returns the oldest task, or nil when the ring is
+// empty.
+func (r *mpmcRing) tryPop() *task {
+	pos := r.deq.Load()
+	for {
+		s := &r.slots[pos&r.mask]
+		seq := s.seq.Load()
+		switch diff := int64(seq) - int64(pos+1); {
+		case diff == 0:
+			if r.deq.CompareAndSwap(pos, pos+1) {
+				t := s.t
+				s.t = nil // eager clear: pooled rings pin no tasks
+				s.seq.Store(pos + r.mask + 1)
+				return t
+			}
+			pos = r.deq.Load()
+		case diff < 0:
+			// The slot has not been published for this lap: empty.
+			return nil
+		default:
+			pos = r.deq.Load()
+		}
+	}
+}
+
+// size approximates the number of queued tasks (exact when quiescent;
+// during concurrent pushes and pops it may be off by the number of
+// in-flight operations, which is all queue-depth cut-offs need).
+func (r *mpmcRing) size() int64 {
+	e := r.enq.Load()
+	d := r.deq.Load()
+	if e <= d {
+		return 0
+	}
+	return int64(e - d)
+}

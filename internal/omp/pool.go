@@ -102,9 +102,9 @@ func (w *worker) releaseTasks() {
 	w.grave = nil
 }
 
-// reset zeroes a task for reuse. The mutex is left in place (it is
-// unlocked whenever reset can run) and atomics are stored through, so
-// the struct is never copied.
+// reset zeroes a task for reuse. Atomics are stored through, so the
+// struct is never copied. A finished task's succHead holds the closed
+// sentinel; storing nil re-opens the list for the next life.
 func (t *task) reset() {
 	t.body = nil
 	t.parent = nil
@@ -117,16 +117,43 @@ func (t *task) reset() {
 	t.spawnedDeferred = false
 	t.priority = 0
 	t.pending.Store(0)
-	t.wake = nil
 	t.group = nil
 	t.node = nil
 	t.hasDeps = false
 	t.depsLeft.Store(0)
-	t.depDone = false
-	t.succs = nil
+	t.succHead.Store(nil)
 	t.depTab = nil
-	t.latch = nil
 	t.ctx = Context{}
+}
+
+// maxWorkerFreeSuccs bounds the per-worker successor-node free list
+// (see depend.go's succNode; nodes flow from the creating worker's
+// list into a predecessor's successor chain and back onto the
+// releasing worker's list, so the lists balance in steady state).
+const maxWorkerFreeSuccs = 256
+
+// newSuccNode returns a successor-list node for task t, recycled from
+// the worker's free list when possible.
+func (w *worker) newSuccNode(t *task) *succNode {
+	if n := len(w.freeSuccs) - 1; n >= 0 {
+		sn := w.freeSuccs[n]
+		w.freeSuccs[n] = nil
+		w.freeSuccs = w.freeSuccs[:n]
+		sn.t = t
+		return sn
+	}
+	return &succNode{t: t}
+}
+
+// freeSuccNode clears and recycles a successor node onto the worker's
+// free list. Safe mid-region: a node is freed only by the single
+// goroutine that removed it from a successor list (or that lost the
+// publish CAS and still owns it), so no stale reader can hold it.
+func (w *worker) freeSuccNode(n *succNode) {
+	n.t, n.next = nil, nil
+	if len(w.freeSuccs) < maxWorkerFreeSuccs {
+		w.freeSuccs = append(w.freeSuccs, n)
+	}
 }
 
 // newDepTab returns a cleared dependence table for a parent task.

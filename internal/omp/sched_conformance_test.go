@@ -48,6 +48,34 @@ func TestSchedulerRegistry(t *testing.T) {
 	}()
 }
 
+// TestSchedulerSeedPerRegion checks the per-region victim-selection
+// seeding: the deque-family schedulers must surface a non-zero seed
+// in Stats that differs across repeated regions (so steal orders are
+// not replayed), while the centralized pool — no randomized decisions
+// — reports zero.
+func TestSchedulerSeedPerRegion(t *testing.T) {
+	seeds := map[uint64]bool{}
+	for i := 0; i < 4; i++ {
+		st := Parallel(2, func(c *Context) {
+			c.Single(func(c *Context) {
+				c.Task(func(c *Context) {})
+				c.Taskwait()
+			})
+		}, WithScheduler("workfirst"))
+		if st.SchedulerSeed == 0 {
+			t.Fatal("workfirst region reported a zero scheduler seed")
+		}
+		if seeds[st.SchedulerSeed] {
+			t.Fatalf("seed %#x repeated across regions", st.SchedulerSeed)
+		}
+		seeds[st.SchedulerSeed] = true
+	}
+	st := Parallel(2, func(c *Context) {}, WithScheduler("centralized"))
+	if st.SchedulerSeed != 0 {
+		t.Fatalf("centralized region reported seed %#x, want 0 (no randomized decisions)", st.SchedulerSeed)
+	}
+}
+
 // TestCutoffRegistry checks the runtime cut-off name vocabulary.
 func TestCutoffRegistry(t *testing.T) {
 	for _, name := range []string{"none", "maxtasks", "maxqueue", "maxdepth", "adaptive"} {
@@ -206,6 +234,39 @@ func TestSchedulerConformance(t *testing.T) {
 						t.Errorf("after barrier: %d tasks ran, want 200", got)
 					}
 				}, opt)
+			})
+
+			// A thief that parked on the doorbell (after the
+			// advertisement word reported an empty team) must wake and
+			// reach tasks that a worker advertises later: the region
+			// starts with a long quiet phase — long past the spin
+			// budget, so the other workers genuinely park — and only
+			// then produces work. Pinning IdleParks > 0 proves the
+			// park happened; completion of all tasks with cross-worker
+			// execution proves the advertisement woke the parkers.
+			t.Run("ParkedThiefWakesOnAdvertise", func(t *testing.T) {
+				var ran atomic.Int64
+				st := Parallel(4, func(c *Context) {
+					c.Single(func(c *Context) {
+						time.Sleep(10 * time.Millisecond) // peers exhaust spin and park
+						for i := 0; i < 64; i++ {
+							c.Task(func(c *Context) {
+								time.Sleep(100 * time.Microsecond)
+								ran.Add(1)
+							})
+						}
+						c.Taskwait()
+					})
+				}, opt)
+				if got := ran.Load(); got != 64 {
+					t.Fatalf("%d tasks ran, want 64", got)
+				}
+				if st.IdleParks == 0 {
+					t.Fatal("no worker parked during the quiet phase; the wake path was not exercised")
+				}
+				if st.TasksStolen == 0 {
+					t.Fatal("all tasks ran on the producer: parked workers never picked up advertised work")
+				}
 			})
 
 			// A single generator on a multi-worker team: the other

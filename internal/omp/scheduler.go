@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Scheduler is the pluggable task-placement engine of one team: every
@@ -64,6 +65,32 @@ type Scheduler interface {
 	Fini()
 }
 
+// workAdvertiser is the optional scheduler extension behind the
+// team-level work-advertisement word: HasStealableWork(self) reports,
+// from shared atomic state maintained by Push/PopLocal/Steal, whether
+// any *other* worker currently advertises queued work. When a
+// scheduler implements it, an idle worker consults the word before a
+// steal attempt and, on "no work anywhere", goes straight to the
+// doorbell park instead of sweeping every victim's queue top — an
+// O(P) cascade of remote cache-line probes per idle loop otherwise.
+//
+// The word must be conservative toward liveness: a queue that is
+// non-empty must (after any in-flight operations complete) have its
+// advertisement set. A falsely-set bit only costs one wasted sweep;
+// a falsely-clear bit would strand queued work behind parked thieves.
+// See advMask for the clear/recheck protocol that guarantees this.
+type workAdvertiser interface {
+	HasStealableWork(self int) bool
+}
+
+// seededScheduler is the optional extension for schedulers whose
+// decisions are randomized: SchedulerSeed returns the region's
+// victim-selection seed, surfaced in Stats (and therefore in
+// `bots -json` records) for reproducibility.
+type seededScheduler interface {
+	SchedulerSeed() uint64
+}
+
 // DefaultScheduler is the registry name selected by an empty
 // scheduler name everywhere (team option, core config, lab specs,
 // CLI flags).
@@ -73,6 +100,22 @@ var (
 	schedMu  sync.RWMutex
 	schedReg = map[string]func() Scheduler{}
 )
+
+// regionSeq counts parallel regions process-wide; the distributed
+// schedulers mix it into their victim-selection seed so repeated
+// regions do not replay identical steal orders (a program that opens
+// the same region in a loop would otherwise see the same victim
+// sequence every iteration, hiding order-dependent behaviour).
+var regionSeq atomic.Uint64
+
+// splitmix64 is the seed mixer (Steele et al.): it turns the small
+// sequential region numbers into well-distributed 64-bit seeds.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
 
 // RegisterScheduler adds a scheduler constructor under name. The
 // constructor returns a fresh, un-Init-ed instance per call (one per
@@ -136,6 +179,84 @@ func init() {
 	})
 }
 
+// advMask is the work-advertisement word: one bit per worker slot,
+// set when that worker's queue area is (conservatively) non-empty.
+// Idle thieves read it instead of probing every victim's queue top.
+//
+// Maintenance protocol, relied on by the liveness argument in
+// Team.barrier:
+//
+//   - The owner pushes to its queues FIRST and sets its bit after
+//     (set may skip the CAS when the bit is already visible — see the
+//     interleaving argument below).
+//   - The owner clears its own bit only after a pop that left its
+//     queue area empty. Only the owner ever pushes to its own queues
+//     (dependence release enqueues on the releasing worker), so this
+//     observation cannot be invalidated concurrently.
+//   - A thief that observed a victim's queues empty clears the
+//     victim's bit, RE-CHECKS the victim's queues, and re-sets the
+//     bit if they are non-empty.
+//
+// Why the skip-if-set push is safe against a racing thief clear
+// (sequentially-consistent atomics): if the pusher's load saw the bit
+// set, the thief's clear is ordered after that load, hence after the
+// queue push; the thief's recheck is ordered after its own clear and
+// therefore observes the pushed task and restores the bit. Either
+// way a non-empty queue ends with its bit set.
+type advMask struct {
+	words []atomic.Uint64
+}
+
+// init allocates the mask for a team of n workers. Scheduler
+// instances are constructed fresh per region (see RegisterScheduler),
+// so there is no prior storage to reuse.
+func (a *advMask) init(n int) {
+	a.words = make([]atomic.Uint64, (n+63)/64)
+}
+
+func (a *advMask) set(i int) {
+	w := &a.words[i>>6]
+	bit := uint64(1) << (uint(i) & 63)
+	for {
+		old := w.Load()
+		if old&bit != 0 {
+			return
+		}
+		if w.CompareAndSwap(old, old|bit) {
+			return
+		}
+	}
+}
+
+func (a *advMask) clear(i int) {
+	w := &a.words[i>>6]
+	bit := uint64(1) << (uint(i) & 63)
+	for {
+		old := w.Load()
+		if old&bit == 0 {
+			return
+		}
+		if w.CompareAndSwap(old, old&^bit) {
+			return
+		}
+	}
+}
+
+// anyOther reports whether any slot besides self advertises work.
+func (a *advMask) anyOther(self int) bool {
+	selfWord, selfBit := self>>6, uint64(1)<<(uint(self)&63)
+	for i := range a.words {
+		v := a.words[i].Load()
+		if i == selfWord {
+			v &^= selfBit
+		}
+		if v != 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // dequeScheduler is the distributed-queue scheduler family: one
 // Chase–Lev deque plus one priority queue per worker. Three of the
 // registered schedulers are configurations of it:
@@ -150,12 +271,18 @@ func init() {
 //     and an unconstrained steal takes half the victim's backlog in
 //     one raid (steal-half), amortizing steal traffic and keeping
 //     related subtrees on one worker.
+//
+// All three maintain the work-advertisement word (advMask), so an
+// idle team parks on the doorbell instead of sweeping P empty queue
+// tops per probe.
 type dequeScheduler struct {
 	name      string
 	fifoLocal bool // own-queue FIFO when unconstrained (breadthfirst)
 	stealHalf bool // bulk-steal half the victim's backlog (locality)
 	affinity  bool // retry the last successful victim first (locality)
+	seed      uint64
 	ws        []schedSlot
+	adv       advMask
 }
 
 // schedSlot is one worker's queue state, padded so owner-written
@@ -188,15 +315,26 @@ var queuePairPool = sync.Pool{New: func() any {
 
 func (d *dequeScheduler) Name() string { return d.name }
 
+// SchedulerSeed returns the region's victim-selection seed (mixed
+// from the process-wide region sequence number), surfaced in Stats
+// for reproducibility of steal orders.
+func (d *dequeScheduler) SchedulerSeed() uint64 { return d.seed }
+
 func (d *dequeScheduler) Init(n int) {
+	d.seed = splitmix64(regionSeq.Add(1))
+	d.adv.init(n)
 	d.ws = make([]schedSlot, n)
 	for i := range d.ws {
 		q := queuePairPool.Get().(*queuePair)
+		rng := splitmix64(d.seed + uint64(i))
+		if rng == 0 {
+			rng = 0x2545f4914f6cdd1d // xorshift64* needs a non-zero state
+		}
 		d.ws[i] = schedSlot{
 			dq:         q.dq,
 			pq:         q.pq,
 			qp:         q,
-			rng:        uint64(i)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d,
+			rng:        rng,
 			lastVictim: -1,
 		}
 	}
@@ -220,13 +358,33 @@ func (d *dequeScheduler) Push(self int, t *task) {
 	s := &d.ws[self]
 	if t.priority != 0 {
 		s.pq.push(t)
-		return
+	} else {
+		s.dq.pushBottom(t)
 	}
-	s.dq.pushBottom(t)
+	// Advertise after the push (see advMask for why this order is the
+	// one that can never leave a non-empty queue unadvertised).
+	d.adv.set(self)
+}
+
+// slotEmpty reports whether slot i's queue area is currently empty.
+func (d *dequeScheduler) slotEmpty(i int) bool {
+	s := &d.ws[i]
+	return s.dq.size() == 0 && s.pq.size() == 0
 }
 
 func (d *dequeScheduler) PopLocal(self int, pred func(*task) bool) *task {
 	s := &d.ws[self]
+	t := d.popLocalRaw(self, s, pred)
+	if t != nil && d.slotEmpty(self) {
+		// Owner-side clear: only the owner pushes to these queues, so
+		// the emptiness observation cannot be invalidated before the
+		// clear lands (thieves only remove).
+		d.adv.clear(self)
+	}
+	return t
+}
+
+func (d *dequeScheduler) popLocalRaw(self int, s *schedSlot, pred func(*task) bool) *task {
 	// Prioritized tasks run before anything in the regular deque.
 	if t := s.pq.take(pred); t != nil {
 		return t
@@ -244,9 +402,24 @@ func (d *dequeScheduler) PopLocal(self int, pred func(*task) bool) *task {
 	if t != nil && !pred(t) {
 		// Cannot run it here now; put it back for thieves and park.
 		s.dq.pushBottom(t)
+		// Re-advertise: the queue was transiently empty between the
+		// pop and the push-back, and a thief's clearVictim recheck may
+		// have straddled exactly that window and left the bit clear.
+		// Without this set the queue could sit non-empty but
+		// unadvertised forever (every other path that makes the slot
+		// non-empty goes through Push), gating thieves off work they
+		// are the only workers able to run.
+		d.adv.set(self)
 		return nil
 	}
 	return t
+}
+
+// HasStealableWork reports the advertisement word: whether any other
+// worker's queue area advertises queued tasks. The team's idle loop
+// consults it before a steal attempt (see worker.runOne).
+func (d *dequeScheduler) HasStealableWork(self int) bool {
+	return d.adv.anyOther(self)
 }
 
 func (d *dequeScheduler) Steal(self int, pred func(*task) bool) *task {
@@ -302,23 +475,51 @@ func (d *dequeScheduler) Steal(self int, pred func(*task) bool) *task {
 func (d *dequeScheduler) takeFrom(self, victim int, pred func(*task) bool) *task {
 	vs := &d.ws[victim]
 	if t := vs.pq.take(pred); t != nil {
+		if d.slotEmpty(victim) {
+			d.clearVictim(victim)
+		}
 		return t
 	}
 	t := vs.dq.stealIf(pred)
 	if t == nil {
+		// Unconstrained and observed empty: retract the victim's
+		// advertisement so future probes skip it. A constrained miss
+		// proves nothing about emptiness.
+		if pred == nil && d.slotEmpty(victim) {
+			d.clearVictim(victim)
+		}
 		return nil
 	}
 	if d.stealHalf && pred == nil {
 		me := &d.ws[self]
+		moved := false
 		for k := vs.dq.size() / 2; k > 0; k-- {
 			e := vs.dq.steal()
 			if e == nil {
 				break
 			}
 			me.dq.pushBottom(e)
+			moved = true
+		}
+		if moved {
+			d.adv.set(self) // relocated backlog is stealable from us now
 		}
 	}
+	if d.slotEmpty(victim) {
+		d.clearVictim(victim)
+	}
 	return t
+}
+
+// clearVictim retracts victim's advertisement bit, then re-checks the
+// victim's queues and restores the bit if they are non-empty — the
+// thief-side half of the advMask protocol (a clear must never be the
+// last word on a queue that concurrently received a push).
+func (d *dequeScheduler) clearVictim(victim int) {
+	d.adv.clear(victim)
+	if !d.slotEmpty(victim) {
+		d.adv.set(victim)
+	}
 }
 
 func (d *dequeScheduler) Queued(self int) int64 {
@@ -336,104 +537,275 @@ func nextRand(state *uint64) uint64 {
 	return x * 0x2545f4914f6cdd1d
 }
 
+// centralRingCap is the bounded MPMC ring capacity of the centralized
+// scheduler (tasks; a power of two). Backlogs beyond it spill to the
+// mutex-guarded overflow list and are moved back in bulk, so the lock
+// is amortized over ring-capacity tasks even when a breadth-first
+// frontier overflows.
+const centralRingCap = 1024
+
 // centralScheduler is the classic breadth-first pool configuration
 // from the paper's design space: a single shared team queue. Every
-// deferred task goes into one FIFO (prioritized tasks into one shared
-// priority queue, drained first); every worker takes from the front,
-// so tasks execute globally in roughly creation order and there is no
-// stealing — and, past a few threads, no queue-level locality either,
-// which is exactly the contention-vs-balance trade-off the
-// centralized-vs-distributed ablation measures.
+// deferred task goes into one queue (prioritized tasks into one
+// shared priority queue, drained first); every worker takes from the
+// front, so tasks execute globally in roughly creation order and
+// there is no stealing — and, past a few threads, no queue-level
+// locality either, which is exactly the contention-vs-balance
+// trade-off the centralized-vs-distributed ablation measures.
+//
+// The hot path is a bounded lock-free MPMC ring (mpmc.go): Push and
+// an unconstrained PopLocal are one CAS each, so the ablation
+// measures the queue *discipline* (one shared FIFO vs distributed
+// deques) rather than Go mutex convoy effects. The mutex guards only
+// the two slow paths:
+//
+//   - overflow: pushes that find the ring full append to `over`;
+//     consumers that find the ring empty move `over` back into the
+//     ring in bulk (one lock per ~ring-capacity tasks);
+//   - constrained scans: a tied waiter must be able to reach any
+//     admissible queued task (the progress rule), so it drains the
+//     ring and overflow into the `held` list under the mutex and
+//     scans that newest-first — a waiter's own unstarted children are
+//     its most recent pushes, so the scan typically succeeds within a
+//     few entries from the tail. `held` entries are older than the
+//     ring and are consumed first, preserving rough creation order;
+//     mid-list removal nils the vacated tail slot eagerly so a
+//     long-running region never pins finished tasks.
 type centralScheduler struct {
-	pq      *prioQueue // shared: prioritized tasks, drained before the FIFO
-	mu      sync.Mutex
-	fifo    []*task // shared FIFO; head is the index of the oldest task
-	head    int
+	pq   *prioQueue // shared: prioritized tasks, drained before the FIFO
+	ring *mpmcRing
+
+	// nheld/nover let the lock-free fast path skip the mutex when the
+	// slow-path lists are empty (the steady state).
+	nheld atomic.Int32
+	nover atomic.Int32
+
+	mu       sync.Mutex
+	held     []*task // drained by constrained scans; older than ring
+	heldHead int     // index of the oldest live entry in held
+	over     []*task // ring overflow; newer than ring
+
 	storage *centralStorage // pooled wrapper, returned whole in Fini
 }
 
 // centralStorage is the pooled queue storage of the centralized
-// scheduler: the FIFO's backing array and the shared priority queue
-// survive the per-region scheduler instance (the distributed
-// schedulers pool their queue storage the same way; see
+// scheduler: the MPMC ring, the slow-path lists and the shared
+// priority queue survive the per-region scheduler instance (the
+// distributed schedulers pool their queue storage the same way; see
 // queuePairPool).
 type centralStorage struct {
-	fifo []*task
+	ring *mpmcRing
+	held []*task
+	over []*task
 	pq   *prioQueue
 }
 
 var centralStoragePool = sync.Pool{New: func() any {
-	return &centralStorage{fifo: make([]*task, 0, initialDequeCap), pq: &prioQueue{}}
+	return &centralStorage{ring: newMPMCRing(centralRingCap), pq: &prioQueue{}}
 }}
 
 func (c *centralScheduler) Name() string { return "centralized" }
 
 func (c *centralScheduler) Init(n int) {
 	c.storage = centralStoragePool.Get().(*centralStorage)
-	c.fifo = c.storage.fifo[:0]
+	c.ring = c.storage.ring
+	c.held = c.storage.held[:0]
+	c.heldHead = 0
+	c.over = c.storage.over[:0]
 	c.pq = c.storage.pq
 }
 
 func (c *centralScheduler) Fini() {
-	fifo := c.fifo[:cap(c.fifo)]
-	for i := range fifo {
-		fifo[i] = nil
+	for t := c.ring.tryPop(); t != nil; t = c.ring.tryPop() {
+		// The contract drains queues before Fini; defensively clear any
+		// remainder so the pooled ring pins nothing.
 	}
-	c.storage.fifo = fifo[:0]
+	clearTasks(c.held[:cap(c.held)])
+	clearTasks(c.over[:cap(c.over)])
+	c.storage.held = c.held[:0]
+	c.storage.over = c.over[:0]
 	c.pq.clearStale()
 	centralStoragePool.Put(c.storage)
-	c.fifo, c.head, c.pq, c.storage = nil, 0, nil, nil
+	c.ring, c.held, c.over, c.pq, c.storage = nil, nil, nil, nil, nil
+	c.heldHead = 0
+	c.nheld.Store(0)
+	c.nover.Store(0)
 }
 
+func clearTasks(ts []*task) {
+	for i := range ts {
+		ts[i] = nil
+	}
+}
+
+// Push enqueues lock-free while the ring has room; a full ring spills
+// to the overflow list under the mutex.
 func (c *centralScheduler) Push(self int, t *task) {
 	if t.priority != 0 {
 		c.pq.push(t)
 		return
 	}
+	if c.ring.tryPush(t) {
+		return
+	}
 	c.mu.Lock()
-	c.fifo = append(c.fifo, t)
+	c.over = append(c.over, t)
+	c.nover.Store(int32(len(c.over)))
 	c.mu.Unlock()
 }
 
 // PopLocal takes from the shared pool: the highest-priority task
-// first, then the oldest admissible FIFO entry. A constrained waiter
-// scans the whole queue — with a single pool that scan is the only
-// way its unstarted children stay reachable (the progress rule).
+// first, then the oldest available task. The unconstrained path is
+// lock-free (one ring pop) unless a slow-path list is non-empty; a
+// constrained waiter scans the whole queue under the mutex — with a
+// single pool that scan is the only way its unstarted children stay
+// reachable (the progress rule).
 func (c *centralScheduler) PopLocal(self int, pred func(*task) bool) *task {
 	if t := c.pq.take(pred); t != nil {
 		return t
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for i := c.head; i < len(c.fifo); i++ {
-		t := c.fifo[i]
-		if pred != nil && !pred(t) {
+	if pred != nil {
+		return c.takeConstrained(pred)
+	}
+	for {
+		// held entries are older than the ring: consume them first so
+		// the pool keeps rough FIFO order across the slow path.
+		if c.nheld.Load() > 0 {
+			if t := c.popHeld(); t != nil {
+				return t
+			}
+		}
+		if t := c.ring.tryPop(); t != nil {
+			return t
+		}
+		if c.nover.Load() > 0 && c.refillFromOverflow() {
 			continue
 		}
-		if i == c.head {
-			c.fifo[i] = nil
-			c.head++
-			if c.head > len(c.fifo)/2 && c.head > 32 {
-				c.fifo = append(c.fifo[:0], c.fifo[c.head:]...)
-				c.head = 0
-			}
-		} else {
-			c.fifo = append(c.fifo[:i], c.fifo[i+1:]...)
+		// The ring was observed empty — but a concurrent constrained
+		// scan may have drained it into held after the nheld check
+		// above. The scan pre-stores a conservative non-zero nheld
+		// before its first ring pop, so if our empty observation came
+		// from its drain this re-load cannot miss it (and popHeld
+		// blocks on the mutex until the scan ends). Without the
+		// re-check, every task in transit from ring to held would be
+		// invisible to this fast path for the duration of the scan,
+		// and a barrier parker probing in that window could park with
+		// work queued and no later ring to wake it.
+		if c.nheld.Load() > 0 {
+			continue
 		}
-		return t
+		return nil
 	}
-	return nil
+}
+
+// popHeld takes the oldest held entry under the mutex, nil-ing the
+// vacated slot and compacting the backing array once the dead prefix
+// dominates.
+func (c *centralScheduler) popHeld() *task {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.heldHead >= len(c.held) {
+		// Holding the mutex means no scan is in flight, so the exact
+		// (zero) count can be restored here; a stale conservative
+		// pre-store must not keep PopLocal's re-check looping.
+		c.nheld.Store(0)
+		return nil
+	}
+	t := c.held[c.heldHead]
+	c.held[c.heldHead] = nil
+	c.heldHead++
+	if c.heldHead > len(c.held)/2 && c.heldHead > 32 {
+		n := copy(c.held, c.held[c.heldHead:])
+		clearTasks(c.held[n:])
+		c.held = c.held[:n]
+		c.heldHead = 0
+	}
+	c.nheld.Store(int32(len(c.held) - c.heldHead))
+	return t
+}
+
+// refillFromOverflow moves overflowed tasks back into the ring in
+// bulk. It returns false when there was nothing to move (the queue is
+// genuinely empty from this consumer's point of view).
+func (c *centralScheduler) refillFromOverflow() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.over) == 0 {
+		return false
+	}
+	moved := 0
+	for _, t := range c.over {
+		if !c.ring.tryPush(t) {
+			break
+		}
+		moved++
+	}
+	if moved == 0 {
+		return false
+	}
+	n := copy(c.over, c.over[moved:])
+	clearTasks(c.over[n:])
+	c.over = c.over[:n]
+	c.nover.Store(int32(n))
+	return true
+}
+
+// takeConstrained serves a tied waiter: under the mutex, drain the
+// ring and the overflow into held (preserving arrival order) and scan
+// newest-first for an admissible task. Newest-first matters: the
+// waiter's own unstarted children are the youngest entries, so the
+// common case touches a handful of tail slots instead of walking a
+// deep breadth-first frontier from the head.
+func (c *centralScheduler) takeConstrained(pred func(*task) bool) *task {
+	if c.nheld.Load() == 0 && c.nover.Load() == 0 && c.ring.size() == 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Pre-store a conservative non-zero held count before the first
+	// ring pop: a lock-free consumer that observes the ring empty
+	// mid-drain re-checks nheld (see PopLocal) and falls into popHeld
+	// — which blocks here until the scan ends — instead of reporting
+	// an empty pool while its tasks are in transit to held. The exact
+	// count is restored below.
+	c.nheld.Store(int32(len(c.held)-c.heldHead) + 1)
+	for t := c.ring.tryPop(); t != nil; t = c.ring.tryPop() {
+		c.held = append(c.held, t)
+	}
+	if len(c.over) > 0 {
+		c.held = append(c.held, c.over...)
+		clearTasks(c.over)
+		c.over = c.over[:0]
+		c.nover.Store(0)
+	}
+	var found *task
+	for i := len(c.held) - 1; i >= c.heldHead; i-- {
+		if t := c.held[i]; pred(t) {
+			found = t
+			copy(c.held[i:], c.held[i+1:])
+			c.held[len(c.held)-1] = nil // eager: don't pin t's successor slot
+			c.held = c.held[:len(c.held)-1]
+			break
+		}
+	}
+	c.nheld.Store(int32(len(c.held) - c.heldHead))
+	return found
 }
 
 // Steal always fails: a single shared queue has nothing worker-local
 // to steal from; PopLocal already reaches every queued task.
 func (c *centralScheduler) Steal(self int, pred func(*task) bool) *task { return nil }
 
+// HasStealableWork always reports false for the same reason, so idle
+// workers skip the (by-construction futile) steal attempt entirely
+// and the StealAttempts/StealFails counters stay quiet under the
+// centralized discipline.
+func (c *centralScheduler) HasStealableWork(self int) bool { return false }
+
 // Queued reports the shared backlog — the same value for every
-// worker, so a MaxQueue cut-off bounds the team queue as a whole.
+// worker, so a MaxQueue cut-off bounds the team queue as a whole. All
+// components are atomic counters, so cut-off probes on the spawn hot
+// path take no lock.
 func (c *centralScheduler) Queued(self int) int64 {
-	c.mu.Lock()
-	n := len(c.fifo) - c.head
-	c.mu.Unlock()
-	return int64(n) + c.pq.size()
+	return int64(c.nheld.Load()) + int64(c.nover.Load()) + c.ring.size() + c.pq.size()
 }

@@ -17,8 +17,12 @@ type Stats struct {
 	// StealAttempts is the number of times a worker, finding nothing
 	// admissible in its local queue area, asked the scheduler for
 	// another worker's task; StealFails counts the attempts that came
-	// back empty. Under a pool scheduler (one shared queue, nothing
-	// worker-local to steal) every attempt fails by construction.
+	// back empty. Schedulers that maintain a work-advertisement word
+	// (all built-ins) suppress attempts entirely while no other worker
+	// advertises queued work, so on an idle team both counters stay
+	// quiet instead of churning once per spin probe; under a pool
+	// scheduler (one shared queue, nothing worker-local to steal) no
+	// attempt is ever made, since PopLocal already reaches every task.
 	StealAttempts, StealFails int64
 	// IdleParks is the number of times a worker exhausted its bounded
 	// spin budget at a team barrier and parked on the team doorbell
@@ -54,6 +58,13 @@ type Stats struct {
 	// PrivateWrites and SharedWrites are application-reported write
 	// counts (Table II accounting).
 	PrivateWrites, SharedWrites int64
+	// SchedulerSeed is the region's victim-selection seed, for
+	// schedulers whose steal order is randomized (the deque family
+	// mixes a process-wide region sequence number into it, so repeated
+	// regions explore different steal orders). Zero for schedulers
+	// without randomized decisions. Surfaced so a `bots -json` record
+	// pins the steal order the run explored.
+	SchedulerSeed uint64
 }
 
 // TotalTasks returns all tasks that passed through a task directive,
@@ -75,6 +86,9 @@ func (s *Stats) String() string {
 	}
 	if s.FutureWaits > 0 {
 		out += fmt.Sprintf(" futurewaits=%d", s.FutureWaits)
+	}
+	if s.SchedulerSeed != 0 {
+		out += fmt.Sprintf(" schedseed=%#x", s.SchedulerSeed)
 	}
 	return out
 }
@@ -104,6 +118,9 @@ type workerStats struct {
 
 func (tm *Team) aggregateStats() *Stats {
 	s := &Stats{}
+	if sd, ok := tm.sched.(seededScheduler); ok {
+		s.SchedulerSeed = sd.SchedulerSeed()
+	}
 	for i := range tm.workers {
 		ws := &tm.workers[i].stats
 		s.TasksCreated += ws.tasksCreated

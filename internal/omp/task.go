@@ -1,7 +1,6 @@
 package omp
 
 import (
-	"sync"
 	"sync/atomic"
 
 	"bots/internal/trace"
@@ -41,12 +40,10 @@ type task struct {
 	ctx Context
 
 	// pending counts outstanding (created, not yet finished) child
-	// tasks; taskwait blocks until it reaches zero.
+	// tasks; taskwait blocks until it reaches zero. Parked taskwaits
+	// block on the team's waitBell (see Team.wakeWaiters) — the task
+	// itself carries no park state.
 	pending atomic.Int64
-
-	// mu guards wake for the park/unpark protocol in taskwait.
-	mu   sync.Mutex
-	wake chan struct{}
 
 	// group is the innermost enclosing taskgroup, inherited by
 	// descendants; nil outside any taskgroup.
@@ -59,22 +56,18 @@ type task struct {
 	// declared depend clauses — only they can appear in the parent's
 	// dependence table and acquire successors. depsLeft counts
 	// unfinished predecessors plus a creation guard; the task is
-	// enqueued when it reaches zero. depMu guards succs and depDone
-	// against concurrent predecessor completion.
+	// enqueued when it reaches zero. succHead is the lock-free
+	// successor list: creation CAS-pushes successor nodes, and the
+	// completion path swaps in a closed sentinel so no successor can
+	// attach to a finished predecessor (see releaseSuccessors).
 	hasDeps  bool
 	depsLeft atomic.Int32
-	depMu    sync.Mutex
-	depDone  bool
-	succs    []*task
+	succHead atomic.Pointer[succNode]
 
 	// depTab is the dependence table for this task's *children*,
 	// lazily created on the first dependent child; touched only by
 	// the thread executing this task.
 	depTab *depTracker
-
-	// latch, when non-nil, is an external wakeup (a Future's) that
-	// completion and dependence release must signal.
-	latch *latch
 }
 
 // TaskOpt configures a single task creation.
@@ -87,7 +80,6 @@ type taskConfig struct {
 	captured int
 	priority int32
 	deps     []dep
-	latch    *latch
 }
 
 // reset readies a (per-worker scratch) config for the next task
@@ -99,7 +91,6 @@ func (cfg *taskConfig) reset() {
 	cfg.captured = 0
 	cfg.priority = 0
 	cfg.deps = cfg.deps[:0]
-	cfg.latch = nil
 }
 
 // Untied marks the task untied: at scheduling points, a thread
@@ -157,13 +148,17 @@ func (t *task) finish(w *worker) {
 		recycleDepTab(t.depTab)
 		t.depTab = nil
 	}
+	wake := false
 	if p := t.parent; p != nil {
 		if p.pending.Add(-1) == 0 {
-			p.signalWake()
+			wake = true // a taskwait may be parked in the parent
 		}
 	}
-	if t.group != nil {
-		t.group.leave()
+	if t.group != nil && t.group.leave() {
+		wake = true // a Taskgroup drain may be parked on the group
+	}
+	if wake {
+		t.team.wakeWaiters()
 	}
 	t.team.liveTasks.Add(-1)
 	// A single-worker team has no thieves, so finished deferred tasks
@@ -178,35 +173,12 @@ func (t *task) finish(w *worker) {
 	w.bury(t)
 }
 
-// signalWake delivers one wakeup token to a taskwait parked in t.
-// The send is made race-free against park's check-then-sleep by
-// taking t.mu, which park holds around the re-check and channel
-// installation.
-func (t *task) signalWake() {
-	t.mu.Lock()
-	if t.wake != nil {
-		select {
-		case t.wake <- struct{}{}:
-		default:
-		}
-	}
-	t.mu.Unlock()
-}
-
-// park blocks until a child-completion signal arrives or the task's
+// park blocks until a completion broadcast arrives or the task's
 // pending count is observed at zero. The check-then-sleep is made
-// race-free by taking t.mu around the re-check and channel
-// installation, while finish signals under the same mutex.
+// race-free by the waitPark registration protocol (waitParkers is
+// incremented before the re-check; see Team.wakeWaiters for the
+// ordering argument), replacing the old per-task mutex + lazily
+// allocated wake channel.
 func (t *task) park() {
-	t.mu.Lock()
-	if t.pending.Load() == 0 {
-		t.mu.Unlock()
-		return
-	}
-	if t.wake == nil {
-		t.wake = make(chan struct{}, 1)
-	}
-	ch := t.wake
-	t.mu.Unlock()
-	<-ch
+	t.team.waitPark(func() bool { return t.pending.Load() == 0 })
 }

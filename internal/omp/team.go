@@ -15,7 +15,12 @@ type Team struct {
 	workers []*worker
 	cutoff  CutoffPolicy
 	sched   Scheduler
-	rec     *trace.Recorder
+	// adv is sched's work-advertisement view, when it provides one
+	// (cached type assertion; nil otherwise). runOne consults it
+	// before a steal attempt so an idle worker on an empty team goes
+	// straight to the park instead of sweeping P queue tops.
+	adv workAdvertiser
+	rec *trace.Recorder
 
 	// liveTasks counts deferred tasks created and not yet finished;
 	// barriers wait for it to reach zero.
@@ -35,6 +40,20 @@ type Team struct {
 	// argument.
 	idleWaiters atomic.Int32
 	doorbell    chan struct{}
+
+	// waitBell is the futex-style park word for condition waiters —
+	// taskwait, Future.Wait and Taskgroup drains. A waiter registers
+	// in waitParkers, re-checks its condition, and blocks on the
+	// channel; every completion event that can satisfy a waiter
+	// (a subtree's last child finishing, a future completing, a
+	// taskgroup emptying, a dependence release) broadcasts via
+	// wakeWaiters. Broadcasts are recipient-agnostic — every parked
+	// waiter re-checks its own condition — which is what lets one
+	// shared word replace the old per-task mutex + lazily-allocated
+	// wake channel without misdirected-token deadlocks. See wakeWaiters
+	// for the lost-wakeup argument.
+	waitParkers atomic.Int32
+	waitBell    chan struct{}
 
 	// Worksharing bookkeeping: per-construct-instance state, keyed by
 	// each thread's private construct counter (all threads encounter
@@ -100,6 +119,7 @@ type worker struct {
 	// Task-recycling tiers (pool.go); owner-only.
 	freeTasks []*task
 	grave     []*task
+	freeSuccs []*succNode
 
 	// taskCfg is the scratch task-creation config Task/Spawn apply
 	// options into; owner-only. Living in the worker (already on the
@@ -145,10 +165,12 @@ func Parallel(n int, body func(*Context), opts ...TeamOpt) *Stats {
 		sched:     cfg.sched,
 		rec:       cfg.rec,
 		doorbell:  make(chan struct{}, n),
+		waitBell:  make(chan struct{}, n),
 		wsSingles: make(map[int64]bool),
 		wsLoops:   make(map[int64]*loopState),
 		wsReduces: make(map[int64]bool),
 	}
+	tm.adv, _ = cfg.sched.(workAdvertiser)
 	tm.sched.Init(n)
 	tm.workers = make([]*worker, n)
 	implicit := make([]*task, n)
@@ -301,6 +323,50 @@ func (tm *Team) ringAll() {
 	}
 }
 
+// wakeWaiters broadcasts to every parked condition waiter (taskwait,
+// Future.Wait, Taskgroup). With no waiter registered it is a single
+// atomic load — the common completion path stays as cheap as the old
+// per-task signalWake's mutex-free fast path, without the per-task
+// mutex + channel behind it.
+//
+// No-lost-wakeup argument (all atomics are sequentially consistent):
+// a waiter increments waitParkers, then re-checks its wait condition,
+// then blocks; a completer changes the waited-on state, then loads
+// waitParkers. If the waiter's re-check missed the state change, the
+// change — and therefore the completer's waitParkers load — is
+// ordered after the waiter's increment, so the completer observes the
+// registration and broadcasts. The broadcast fills the bell to the
+// team size with non-blocking sends: a full buffer already holds a
+// token for every possible parker, and the Go runtime hands tokens to
+// already-blocked receivers first, so every waiter parked at
+// broadcast time wakes and re-checks. Stale tokens only cause one
+// extra re-check round on a later park.
+func (tm *Team) wakeWaiters() {
+	if tm.waitParkers.Load() == 0 {
+		return
+	}
+	for range tm.workers {
+		select {
+		case tm.waitBell <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// waitPark blocks the calling worker until the next completion
+// broadcast, unless cond() already holds after registration. Callers
+// loop around it re-checking their own condition: a wake proves only
+// that *some* completion happened.
+func (tm *Team) waitPark(cond func() bool) {
+	tm.waitParkers.Add(1)
+	if cond() {
+		tm.waitParkers.Add(-1)
+		return
+	}
+	<-tm.waitBell
+	tm.waitParkers.Add(-1)
+}
+
 // runOne tries to execute one ready task, honouring the OpenMP task
 // scheduling constraint: when constraint is non-nil (a suspended tied
 // task), only descendants of that task may run on this thread. It
@@ -323,10 +389,19 @@ func (w *worker) runOne(constraint *task) bool {
 	sched := w.team.sched
 	t := sched.PopLocal(w.id, pred)
 	if t == nil && len(w.team.workers) > 1 {
-		w.stats.stealAttempts++
-		t = sched.Steal(w.id, pred)
-		if t == nil {
-			w.stats.stealFails++
+		// Consult the work-advertisement word before sweeping victims:
+		// when no other worker advertises queued work, skip the steal
+		// attempt entirely — no counter churn, no remote cache-line
+		// probes — and let the caller proceed to its park. Liveness is
+		// preserved because every Push sets the advertisement before
+		// the doorbell ring, and every parker re-probes after
+		// registering (see advMask and barrier).
+		if adv := w.team.adv; adv == nil || adv.HasStealableWork(w.id) {
+			w.stats.stealAttempts++
+			t = sched.Steal(w.id, pred)
+			if t == nil {
+				w.stats.stealFails++
+			}
 		}
 	}
 	if t == nil {

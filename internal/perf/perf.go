@@ -16,13 +16,16 @@
 //
 // Two metric classes:
 //
-//   - gated metrics (Gate=true) are host-independent — allocation
-//     counts per task, measured with testing.AllocsPerRun — and are
-//     compared hard against the committed baseline;
+//   - gated metrics (Gate=true) are compared hard against the
+//     committed baseline: allocation counts per task (host-independent
+//     by construction, measured with testing.AllocsPerRun) and the
+//     strong-scaling parallel-efficiency points (scaling.go), which
+//     pin the measuring host's CPU count in their params so the gate
+//     only ever fires between comparable hosts;
 //   - informational metrics (spawn rates, elapsed times, steal
-//     counters) depend on the measuring host and are reported with
-//     deltas but never fail the gate, since the committed baseline
-//     was measured on a different machine than CI.
+//     counters, scaling speedups) depend on the measuring host and are
+//     reported with deltas but never fail the gate, since the
+//     committed baseline was measured on a different machine than CI.
 package perf
 
 import (

@@ -41,9 +41,10 @@ func (o Options) defaults() Options {
 // Run executes the pinned benchmark suite and returns its report.
 // The suite is deliberately small and fixed: the same micro kernels
 // (fib and nqueens spawn rate, spawn-path allocation counts), the
-// same per-scheduler steal-throughput probe, and the same two macro
-// benchmarks (sort and strassen end-to-end) every run, so the
-// BENCH_<n>.json trajectory stays comparable across PRs.
+// same per-scheduler steal-throughput probe, the same strong-scaling
+// sweep (five benchmarks at 1,2,4,… workers; scaling.go), and the
+// same two macro benchmarks (sort and strassen end-to-end) every run,
+// so the BENCH_<n>.json trajectory stays comparable across PRs.
 func Run(o Options) (*Report, error) {
 	o = o.defaults()
 	rep := &Report{
@@ -84,6 +85,16 @@ func Run(o Options) (*Report, error) {
 	for _, sched := range omp.Schedulers() {
 		rep.Metrics = append(rep.Metrics, stealThroughput(sched, fibN, o.Threads, o.Reps))
 	}
+
+	// Strong scaling: the same problems at 1,2,4,… workers, with
+	// speedup (informational) and parallel-efficiency (gated) per
+	// point — the paper's actual subject, and the regression net over
+	// the scheduler/synchronization contention paths. See scaling.go.
+	sm, err := scalingMetrics(o)
+	if err != nil {
+		return nil, err
+	}
+	rep.Metrics = append(rep.Metrics, sm...)
 
 	// Macro: end-to-end application times through the core registry.
 	class := "small"

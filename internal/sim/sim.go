@@ -71,6 +71,12 @@ type Params struct {
 	//     there and every worker dequeues from the front. There is no
 	//     stealing (Steals stays 0) and no StealNS is charged; combine
 	//     with QueueSerializeNS to cost the shared-queue contention.
+	//     The real scheduler's MPMC-ring rework (omp §9.1) changed the
+	//     queue's synchronization, not its discipline — same FIFO
+	//     order, same constrained-scan reachability, still no steals —
+	//     so this replay stays faithful to it; QueueSerializeNS now
+	//     models only the mutex slow paths (overflow, tied scans)
+	//     rather than every operation.
 	//   - "locality": workfirst local order plus affinity stealing —
 	//     thieves return to their last successful victim first and an
 	//     unconstrained steal moves half the victim's backlog.
