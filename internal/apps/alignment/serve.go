@@ -1,0 +1,23 @@
+package alignment
+
+import (
+	"bots/internal/core"
+	"bots/internal/inputs"
+)
+
+// Service-mode hooks: internal/serve drives the all-pairs alignment as
+// a per-request task DAG on a persistent team — one task per sequence
+// pair, verified against the sequential score digest.
+
+// Sequences returns the deterministic protein input set for class.
+func Sequences(class core.Class) [][]byte {
+	p := classParams[class]
+	return inputs.Proteins(p.n, p.minLen, p.maxLen, inputSeed)
+}
+
+// PairIndex returns the flat index of pair (i, j), i < j, among the
+// n(n−1)/2 pairs of an n-sequence set.
+func PairIndex(n, i, j int) int { return pairIndex(n, i, j) }
+
+// Digest returns the verification digest of a score vector.
+func Digest(scores []int32) string { return digest(scores) }

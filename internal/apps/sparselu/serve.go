@@ -1,0 +1,26 @@
+package sparselu
+
+import (
+	"bots/internal/core"
+	"bots/internal/omp"
+)
+
+// Service-mode hooks: internal/serve drives the dependence-driven
+// factorization as a per-request task DAG on a persistent team. A
+// request clones a shared input matrix, factorizes it with ParDep, and
+// verifies the digest against the sequential reference.
+
+// DimsFor returns the block-matrix geometry for class.
+func DimsFor(class core.Class) (nb, bs int) {
+	d := classDims[class]
+	return d.nb, d.bs
+}
+
+// ParDep factorizes m in place with the dependence-driven generator
+// (In/Out/InOut clauses, no phase barriers). It must run inside a task
+// region; the caller synchronizes completion (taskwait, or the end of
+// a persistent-team submission).
+func ParDep(c *omp.Context, m *Matrix, untied bool) { parDep(c, m, untied) }
+
+// Digest returns the verification digest of the factorized matrix.
+func Digest(m *Matrix) string { return digest(m) }

@@ -66,6 +66,7 @@ func (c *Context) spawnTask(body func(*Context), cfg *taskConfig) {
 
 	t := w.newTask()
 	t.body = body
+	t.fut = cfg.fut
 	t.parent = parent
 	t.team = tm
 	t.creator = w
@@ -81,10 +82,10 @@ func (c *Context) spawnTask(body func(*Context), cfg *taskConfig) {
 			t.node.SetPriority(cfg.priority)
 		}
 	}
-	w.stats.capturedBytes += int64(cfg.captured)
+	w.stats.capturedBytes.Add(int64(cfg.captured))
 
 	if !deferred {
-		w.stats.tasksUndeferred++
+		w.stats.tasksUndeferred.Add(1)
 		// Undeferred: execute immediately on this thread. The child
 		// completes before Task returns, so it never contributes to
 		// parent.pending (or to the taskgroup); its own children do
@@ -101,7 +102,7 @@ func (c *Context) spawnTask(body func(*Context), cfg *taskConfig) {
 				t.finishInline(w)
 			}()
 			t.ctx = Context{w: w, task: t}
-			body(&t.ctx)
+			t.run(&t.ctx)
 		}()
 		w.cur = prev
 		return
@@ -113,7 +114,7 @@ func (c *Context) spawnTask(body func(*Context), cfg *taskConfig) {
 	t.visible = true
 	parent.visible = true
 	parent.spawnedDeferred = true
-	w.stats.tasksCreated++
+	w.stats.tasksCreated.Add(1)
 	parent.pending.Add(1)
 	if t.group != nil {
 		t.group.enter()
@@ -132,7 +133,7 @@ func (c *Context) spawnTask(body func(*Context), cfg *taskConfig) {
 			// Deferred on its dependences: counted everywhere
 			// (pending, taskgroup, liveTasks) but not enqueued; the
 			// last predecessor to finish will enqueue it.
-			w.stats.tasksDepDeferred++
+			w.stats.tasksDepDeferred.Add(1)
 			return
 		}
 	}
@@ -174,7 +175,7 @@ func (t *task) finishInline(w *worker) {
 // that task; suspended in an untied task it may run anything.
 func (c *Context) Taskwait() {
 	w, t := c.w, c.task
-	w.stats.taskwaits++
+	w.stats.taskwaits.Add(1)
 	if t.node != nil {
 		t.node.Taskwait()
 	}
@@ -186,7 +187,7 @@ func (c *Context) Taskwait() {
 		if w.runOne(constraint) {
 			continue
 		}
-		w.stats.taskwaitParks++
+		w.stats.taskwaitParks.Add(1)
 		t.park()
 	}
 }
@@ -249,7 +250,7 @@ func (c *Context) Critical(name string, body func()) {
 // feeds the runtime statistics and, when tracing is enabled, the
 // task-graph recorder used by the performance-model simulator.
 func (c *Context) AddWork(n int64) {
-	c.w.stats.workUnits += n
+	c.w.stats.workUnits.Add(n)
 	if c.task.node != nil {
 		c.task.node.AddWork(n)
 	}
@@ -260,8 +261,8 @@ func (c *Context) AddWork(n int64) {
 // touch non-private data (Table II's "% of writes to non-private
 // data" accounting; also the bandwidth-model input).
 func (c *Context) AddWrites(private, shared int64) {
-	c.w.stats.privateWrites += private
-	c.w.stats.sharedWrites += shared
+	c.w.stats.privateWrites.Add(private)
+	c.w.stats.sharedWrites.Add(shared)
 	if c.task.node != nil {
 		c.task.node.AddWrites(private, shared)
 	}

@@ -186,7 +186,7 @@ func (tr *depTracker) resolve(t *task, deps []dep, w *worker) int64 {
 			e.readers = nil
 		}
 	}
-	w.stats.depEdges += edges
+	w.stats.depEdges.Add(edges)
 	return edges
 }
 
@@ -222,7 +222,7 @@ func (t *task) releaseSuccessors(w *worker) {
 		s, next := n.t, n.next
 		w.freeSuccNode(n)
 		if s.depsLeft.Add(-1) == 0 {
-			w.stats.depReleases++
+			w.stats.depReleases.Add(1)
 			w.enqueueReleased(s)
 		}
 		n = next

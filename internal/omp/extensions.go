@@ -54,6 +54,11 @@ func (c *Context) Taskgroup(body func(*Context)) {
 // waitBell, so the group needs no mutex or channel of its own.
 type taskgroup struct {
 	live atomic.Int64
+	// sub, when non-nil, is the persistent-team submission this group
+	// belongs to: the whole submitted subtree is threaded through the
+	// group, and the submission completes when the group empties (see
+	// persistent.go). nil for ordinary Taskgroup constructs.
+	sub *Submission
 }
 
 func (tg *taskgroup) enter() { tg.live.Add(1) }

@@ -11,6 +11,13 @@ import "sync/atomic"
 // word taskwait and Taskgroup use; see Team.wakeWaiters), so a Future
 // carries no park state of its own — just the value and a done flag.
 type Future[T any] struct {
+	// fn is the producing function, carried in the Future itself so
+	// the spawn path needs no per-spawn closure: the task stores the
+	// Future in its fut slot and the shared runFuture body below
+	// recovers fn through the interface. Cleared after the run so the
+	// captured environment does not outlive the task just because the
+	// caller holds the Future for its value.
+	fn   func(*Context) T
 	val  T
 	done atomic.Bool
 }
@@ -18,29 +25,38 @@ type Future[T any] struct {
 // Done reports whether the producing task has completed.
 func (f *Future[T]) Done() bool { return f.done.Load() }
 
+// runFuture is the task body of every Spawn-created task; it
+// implements the unexported futureRunner interface the task struct's
+// fut slot is typed as (see task.go). Executing through the interface
+// instead of a wrapping closure is what keeps Spawn at one allocation:
+// the Future struct itself is the only per-spawn heap object.
+func (f *Future[T]) runFuture(tc *Context) {
+	defer func() {
+		f.fn = nil
+		f.done.Store(true)
+		// Broadcast after publishing done: a Wait that registered
+		// on the bell and re-checked before this store is woken by
+		// the broadcast; one that re-checks after sees done and
+		// never parks (Team.wakeWaiters has the full argument).
+		tc.w.team.wakeWaiters()
+	}()
+	f.val = f.fn(tc)
+}
+
 // Spawn creates a task computing fn and returns a Future for its
 // result. All task options apply: dependences (In/Out/InOut),
 // Priority, Untied, If, Final, Captured. If the producing task
 // panics, the Future completes with the zero value and the panic is
 // re-raised when the parallel region returns, as for any task.
 func Spawn[T any](c *Context, fn func(*Context) T, opts ...TaskOpt) *Future[T] {
-	f := &Future[T]{}
+	f := &Future[T]{fn: fn}
 	cfg := &c.w.taskCfg // see Context.Task for why the scratch is safe
 	cfg.reset()
 	for _, o := range opts {
 		o(cfg)
 	}
-	c.spawnTask(func(tc *Context) {
-		defer func() {
-			f.done.Store(true)
-			// Broadcast after publishing done: a Wait that registered
-			// on the bell and re-checked before this store is woken by
-			// the broadcast; one that re-checks after sees done and
-			// never parks (Team.wakeWaiters has the full argument).
-			tc.w.team.wakeWaiters()
-		}()
-		f.val = fn(tc)
-	}, cfg)
+	cfg.fut = f
+	c.spawnTask(nil, cfg)
 	return f
 }
 
@@ -62,7 +78,7 @@ func (f *Future[T]) Wait(c *Context) T {
 		return f.val
 	}
 	w, cur := c.w, c.task
-	w.stats.futureWaits++
+	w.stats.futureWaits.Add(1)
 	if cur.node != nil {
 		cur.node.Taskwait()
 	}
@@ -74,7 +90,7 @@ func (f *Future[T]) Wait(c *Context) T {
 		if w.runOne(constraint) {
 			continue
 		}
-		w.stats.taskwaitParks++
+		w.stats.taskwaitParks.Add(1)
 		w.team.waitPark(f.done.Load)
 	}
 	return f.val

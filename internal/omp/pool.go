@@ -107,6 +107,7 @@ func (w *worker) releaseTasks() {
 // sentinel; storing nil re-opens the list for the next life.
 func (t *task) reset() {
 	t.body = nil
+	t.fut = nil
 	t.parent = nil
 	t.team = nil
 	t.creator = nil

@@ -1,6 +1,9 @@
 package omp
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Stats aggregates per-team runtime counters. All counts are totals
 // across the team's workers for one parallel region.
@@ -93,53 +96,99 @@ func (s *Stats) String() string {
 	return out
 }
 
+// Sub returns the field-wise difference s - prev: the counters
+// accumulated between the two snapshots. The per-submission stats of a
+// persistent team are deltas of this form (see PersistentTeam). The
+// SchedulerSeed is an identity, not a counter, and is carried over
+// from s unchanged.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		TasksCreated:     s.TasksCreated - prev.TasksCreated,
+		TasksUndeferred:  s.TasksUndeferred - prev.TasksUndeferred,
+		TasksStolen:      s.TasksStolen - prev.TasksStolen,
+		StealAttempts:    s.StealAttempts - prev.StealAttempts,
+		StealFails:       s.StealFails - prev.StealFails,
+		IdleParks:        s.IdleParks - prev.IdleParks,
+		Taskwaits:        s.Taskwaits - prev.Taskwaits,
+		TaskwaitParks:    s.TaskwaitParks - prev.TaskwaitParks,
+		Barriers:         s.Barriers - prev.Barriers,
+		DepEdges:         s.DepEdges - prev.DepEdges,
+		TasksDepDeferred: s.TasksDepDeferred - prev.TasksDepDeferred,
+		DepReleases:      s.DepReleases - prev.DepReleases,
+		FutureWaits:      s.FutureWaits - prev.FutureWaits,
+		CapturedBytes:    s.CapturedBytes - prev.CapturedBytes,
+		WorkUnits:        s.WorkUnits - prev.WorkUnits,
+		PrivateWrites:    s.PrivateWrites - prev.PrivateWrites,
+		SharedWrites:     s.SharedWrites - prev.SharedWrites,
+		SchedulerSeed:    s.SchedulerSeed,
+	}
+}
+
 // workerStats holds one worker's counters, padded to a cache line to
 // avoid false sharing between adjacent workers in the team slice.
+//
+// The counters are atomic so a snapshot can be taken while workers
+// run: a persistent team serves submissions from long-parked workers
+// and its observers (latency monitors, the serve report) read stats
+// mid-flight, which with plain fields would be a data race. Each
+// counter has a single writer (its worker), so the writes are
+// uncontended adds — the atomicity buys race-free remote reads, not
+// cross-worker aggregation.
 type workerStats struct {
-	tasksCreated     int64
-	tasksUndeferred  int64
-	tasksStolen      int64
-	stealAttempts    int64
-	stealFails       int64
-	idleParks        int64
-	taskwaits        int64
-	taskwaitParks    int64
-	barriers         int64
-	depEdges         int64
-	tasksDepDeferred int64
-	depReleases      int64
-	futureWaits      int64
-	capturedBytes    int64
-	workUnits        int64
-	privateWrites    int64
-	sharedWrites     int64
+	tasksCreated     atomic.Int64
+	tasksUndeferred  atomic.Int64
+	tasksStolen      atomic.Int64
+	stealAttempts    atomic.Int64
+	stealFails       atomic.Int64
+	idleParks        atomic.Int64
+	taskwaits        atomic.Int64
+	taskwaitParks    atomic.Int64
+	barriers         atomic.Int64
+	depEdges         atomic.Int64
+	tasksDepDeferred atomic.Int64
+	depReleases      atomic.Int64
+	futureWaits      atomic.Int64
+	capturedBytes    atomic.Int64
+	workUnits        atomic.Int64
+	privateWrites    atomic.Int64
+	sharedWrites     atomic.Int64
 	_                [56]byte // pad to a multiple of 64 bytes
 }
 
-func (tm *Team) aggregateStats() *Stats {
-	s := &Stats{}
+// snapshot returns a point-in-time copy of the team's aggregated
+// counters. Safe to call from any goroutine at any time — all loads
+// are atomic — including while every worker is running or parked
+// mid-submission; a snapshot taken during execution is a consistent
+// set of per-counter values, not a cross-counter atomic cut.
+func (tm *Team) snapshot() Stats {
+	var s Stats
 	if sd, ok := tm.sched.(seededScheduler); ok {
 		s.SchedulerSeed = sd.SchedulerSeed()
 	}
 	for i := range tm.workers {
 		ws := &tm.workers[i].stats
-		s.TasksCreated += ws.tasksCreated
-		s.TasksUndeferred += ws.tasksUndeferred
-		s.TasksStolen += ws.tasksStolen
-		s.StealAttempts += ws.stealAttempts
-		s.StealFails += ws.stealFails
-		s.IdleParks += ws.idleParks
-		s.Taskwaits += ws.taskwaits
-		s.TaskwaitParks += ws.taskwaitParks
-		s.Barriers += ws.barriers
-		s.DepEdges += ws.depEdges
-		s.TasksDepDeferred += ws.tasksDepDeferred
-		s.DepReleases += ws.depReleases
-		s.FutureWaits += ws.futureWaits
-		s.CapturedBytes += ws.capturedBytes
-		s.WorkUnits += ws.workUnits
-		s.PrivateWrites += ws.privateWrites
-		s.SharedWrites += ws.sharedWrites
+		s.TasksCreated += ws.tasksCreated.Load()
+		s.TasksUndeferred += ws.tasksUndeferred.Load()
+		s.TasksStolen += ws.tasksStolen.Load()
+		s.StealAttempts += ws.stealAttempts.Load()
+		s.StealFails += ws.stealFails.Load()
+		s.IdleParks += ws.idleParks.Load()
+		s.Taskwaits += ws.taskwaits.Load()
+		s.TaskwaitParks += ws.taskwaitParks.Load()
+		s.Barriers += ws.barriers.Load()
+		s.DepEdges += ws.depEdges.Load()
+		s.TasksDepDeferred += ws.tasksDepDeferred.Load()
+		s.DepReleases += ws.depReleases.Load()
+		s.FutureWaits += ws.futureWaits.Load()
+		s.CapturedBytes += ws.capturedBytes.Load()
+		s.WorkUnits += ws.workUnits.Load()
+		s.PrivateWrites += ws.privateWrites.Load()
+		s.SharedWrites += ws.sharedWrites.Load()
 	}
 	return s
+}
+
+func (tm *Team) aggregateStats() *Stats {
+	s := tm.snapshot()
+	return &s
 }

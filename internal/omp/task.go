@@ -10,6 +10,7 @@ import (
 // of a thread's implicit task, for depth 0).
 type task struct {
 	body    func(*Context)
+	fut     futureRunner // non-nil for Spawn-created tasks; body is nil then
 	parent  *task
 	team    *Team
 	creator *worker // worker that created (queued) the task; nil for implicit tasks
@@ -70,6 +71,25 @@ type task struct {
 	depTab *depTracker
 }
 
+// futureRunner is the type-erased face of *Future[T]: the task struct
+// cannot be generic, so Spawn hands its Future over as this interface
+// and the execution paths call run in place of a body closure. This is
+// what makes Spawn a one-allocation operation — the Future is the only
+// per-spawn heap object (see future.go).
+type futureRunner interface {
+	runFuture(*Context)
+}
+
+// run invokes the task's work: the future runner when the task was
+// created by Spawn, the plain body otherwise.
+func (t *task) run(c *Context) {
+	if t.fut != nil {
+		t.fut.runFuture(c)
+		return
+	}
+	t.body(c)
+}
+
 // TaskOpt configures a single task creation.
 type TaskOpt func(*taskConfig)
 
@@ -80,6 +100,7 @@ type taskConfig struct {
 	captured int
 	priority int32
 	deps     []dep
+	fut      futureRunner // set by Spawn only, not by any TaskOpt
 }
 
 // reset readies a (per-worker scratch) config for the next task
@@ -91,6 +112,7 @@ func (cfg *taskConfig) reset() {
 	cfg.captured = 0
 	cfg.priority = 0
 	cfg.deps = cfg.deps[:0]
+	cfg.fut = nil
 }
 
 // Untied marks the task untied: at scheduling points, a thread
@@ -148,6 +170,13 @@ func (t *task) finish(w *worker) {
 		recycleDepTab(t.depTab)
 		t.depTab = nil
 	}
+	// The live count drops before the completion signals below: anyone
+	// released by this task's completion (a taskwait in the parent, a
+	// persistent-team SubmitWait) must observe the team already drained
+	// of this task. Unreleased dependent successors hold their own live
+	// counts, so the early decrement cannot let a barrier (or a
+	// persistent team's quiescence check) pass while work remains.
+	t.team.liveTasks.Add(-1)
 	wake := false
 	if p := t.parent; p != nil {
 		if p.pending.Add(-1) == 0 {
@@ -156,11 +185,16 @@ func (t *task) finish(w *worker) {
 	}
 	if t.group != nil && t.group.leave() {
 		wake = true // a Taskgroup drain may be parked on the group
+		if s := t.group.sub; s != nil {
+			// The group is a persistent-team submission and this was
+			// its last live task: complete the submission (signal its
+			// waiter or run its callback; see persistent.go).
+			s.complete()
+		}
 	}
 	if wake {
 		t.team.wakeWaiters()
 	}
-	t.team.liveTasks.Add(-1)
 	// A single-worker team has no thieves, so finished deferred tasks
 	// are not stale-readable and can recycle immediately — unless a
 	// constraint walk can still reach this task from a queued

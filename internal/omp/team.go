@@ -149,6 +149,42 @@ func Parallel(n int, body func(*Context), opts ...TeamOpt) *Stats {
 	if n < 1 {
 		n = 1
 	}
+	tm, implicit := newTeam(n, opts)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		w := tm.workers[i]
+		it := implicit[i]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.cur = it
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						tm.recordPanic(r)
+					}
+				}()
+				it.ctx = Context{w: w, task: it}
+				body(&it.ctx)
+			}()
+			// Join the final barrier even if the body panicked, so
+			// the rest of the team is not wedged waiting for us.
+			tm.barrier(w)
+		}()
+	}
+	wg.Wait()
+	st := tm.shutdown(implicit)
+	if tm.panicVal != nil {
+		panic(tm.panicVal)
+	}
+	return st
+}
+
+// newTeam builds the team structure shared by Parallel and
+// NewPersistentTeam: n workers with their predicate closures, the
+// initialized scheduler, and one implicit (depth-0) task per worker
+// drawn from the global pool.
+func newTeam(n int, opts []TeamOpt) (*Team, []*task) {
 	cfg := teamConfig{cutoff: NoCutoff{}}
 	for _, o := range opts {
 		o(&cfg)
@@ -185,45 +221,24 @@ func Parallel(n int, body func(*Context), opts ...TeamOpt) *Stats {
 		}
 		implicit[i] = it
 	}
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		w := tm.workers[i]
-		it := implicit[i]
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			w.cur = it
-			func() {
-				defer func() {
-					if r := recover(); r != nil {
-						tm.recordPanic(r)
-					}
-				}()
-				it.ctx = Context{w: w, task: it}
-				body(&it.ctx)
-			}()
-			// Join the final barrier even if the body panicked, so
-			// the rest of the team is not wedged waiting for us.
-			tm.barrier(w)
-		}()
-	}
-	wg.Wait()
+	return tm, implicit
+}
+
+// shutdown finalizes a team after every worker goroutine has joined:
+// no thief or waiter can hold a task reference anymore, so the team's
+// tasks recycle into the global pool (pool.go) — including on the
+// panic path. Returns the final aggregated stats.
+func (tm *Team) shutdown(implicit []*task) *Stats {
 	tm.sched.Fini()
 	if regionEndHook != nil {
 		regionEndHook(tm)
 	}
-	// Every worker goroutine has joined: no thief or waiter can hold a
-	// task reference, so the region's tasks recycle into the global
-	// pool (pool.go) — including on the panic path.
 	for _, w := range tm.workers {
 		w.releaseTasks()
 	}
 	for _, it := range implicit {
 		it.reset()
 		taskPool.Put(it)
-	}
-	if tm.panicVal != nil {
-		panic(tm.panicVal)
 	}
 	return tm.aggregateStats()
 }
@@ -258,7 +273,7 @@ const barrierSpinRounds = 32
 // Spurious tokens (from wakes that found nothing) are bounded by the
 // channel capacity and simply cause one extra probe round.
 func (tm *Team) barrier(w *worker) {
-	w.stats.barriers++
+	w.stats.barriers.Add(1)
 	n := int64(len(tm.workers))
 	gen := tm.barGen.Load()
 	tm.barArrived.Add(1)
@@ -293,7 +308,7 @@ func (tm *Team) barrier(w *worker) {
 			idle = 0
 			continue
 		}
-		w.stats.idleParks++ // counted only when the worker truly blocks
+		w.stats.idleParks.Add(1) // counted only when the worker truly blocks
 		<-tm.doorbell
 		tm.idleWaiters.Add(-1)
 		idle = 0
@@ -397,10 +412,10 @@ func (w *worker) runOne(constraint *task) bool {
 		// the doorbell ring, and every parker re-probes after
 		// registering (see advMask and barrier).
 		if adv := w.team.adv; adv == nil || adv.HasStealableWork(w.id) {
-			w.stats.stealAttempts++
+			w.stats.stealAttempts.Add(1)
 			t = sched.Steal(w.id, pred)
 			if t == nil {
-				w.stats.stealFails++
+				w.stats.stealFails.Add(1)
 			}
 		}
 	}
@@ -419,7 +434,7 @@ func (w *worker) runOne(constraint *task) bool {
 // and Parallel re-raises it after the region drains.
 func (w *worker) execute(t *task, stolen bool) {
 	if stolen {
-		w.stats.tasksStolen++
+		w.stats.tasksStolen.Add(1)
 	}
 	prev := w.cur
 	w.cur = t
@@ -431,7 +446,7 @@ func (w *worker) execute(t *task, stolen bool) {
 		w.cur = prev
 	}()
 	t.ctx = Context{w: w, task: t}
-	t.body(&t.ctx)
+	t.run(&t.ctx)
 }
 
 // recordPanic stores the first panic raised by any task or region

@@ -1,0 +1,124 @@
+package perf
+
+import (
+	"fmt"
+	"testing"
+
+	"bots/internal/core"
+	"bots/internal/omp"
+	"bots/internal/serve"
+)
+
+// serviceMetrics measures the service-mode subsystem (internal/serve
+// on a persistent team). Two kinds of metric come out:
+//
+//   - Host-independent, gated: steady-state allocations per
+//     persistent-team submission (the serve hot path — pooled
+//     Submission, pooled task, reused queues — should not allocate),
+//     and the shed rate at a calibrated load far below capacity
+//     (must be exactly 0: shedding at low load means the admission
+//     accounting leaks). Zero-valued baselines cannot regress through
+//     Compare, so TestServiceGates and CI's service-smoke job assert
+//     the same bounds directly.
+//
+//   - Host-dependent, informational: tail-latency percentiles of a
+//     short calibrated health run, recorded so the BENCH_<n>.json
+//     trajectory tracks how scheduler/runtime changes move the tail.
+func serviceMetrics(o Options) ([]Metric, error) {
+	metrics := []Metric{submitAllocMetric()}
+
+	requests := 400
+	if o.Quick {
+		requests = 120
+	}
+	// Calibrated load: the health test-class request costs well under
+	// a millisecond, so 200/s on any host is a small fraction of one
+	// worker's capacity — at this load nothing may be shed.
+	rep, err := serve.Run(serve.Config{
+		Bench:     "health",
+		Class:     core.Test,
+		Scheduler: omp.DefaultScheduler,
+		Cutoff:    -1,
+		Workers:   o.Threads,
+		Rate:      200,
+		Requests:  requests,
+		Seed:      1,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("perf: service run: %w", err)
+	}
+	if err := rep.Validate(); err != nil {
+		return nil, fmt.Errorf("perf: service report: %w", err)
+	}
+	params := fmt.Sprintf("bench=health/class=test/rate=200/requests=%d/threads=%d", requests, o.Threads)
+	metrics = append(metrics,
+		Metric{
+			Name:   "serve/shed-rate",
+			Value:  float64(rep.Shed) / float64(rep.Submitted+rep.Shed),
+			Unit:   "fraction",
+			Better: "lower",
+			Gate:   true,
+			Params: params,
+			Extra: map[string]float64{
+				"shed":            float64(rep.Shed),
+				"verify_failures": float64(rep.VerifyFailures),
+			},
+		},
+		Metric{
+			Name:   "serve/health/total-p50",
+			Value:  float64(rep.Total.P50),
+			Unit:   "ns",
+			Better: "lower",
+			Params: params,
+		},
+		Metric{
+			Name:   "serve/health/total-p99",
+			Value:  float64(rep.Total.P99),
+			Unit:   "ns",
+			Better: "lower",
+			Params: params,
+		},
+		Metric{
+			Name:   "serve/health/total-p999",
+			Value:  float64(rep.Total.P999),
+			Unit:   "ns",
+			Better: "lower",
+			Params: params,
+			Extra: map[string]float64{
+				"queueing_p99_ns": float64(rep.Queueing.P99),
+				"service_p99_ns":  float64(rep.Service.P99),
+				"throughput_hz":   rep.ThroughputHz,
+			},
+		},
+	)
+	return metrics, nil
+}
+
+// submitAllocMetric measures steady-state allocations per
+// persistent-team submission with a small task DAG per request, on a
+// one-worker team so the counts are deterministic. The submission
+// path recycles the Submission struct, its done channel, and every
+// task, so steady state is ~0.
+func submitAllocMetric() Metric {
+	pt := omp.NewPersistentTeam(1)
+	noop := func(c *omp.Context) {}
+	body := func(c *omp.Context) {
+		for i := 0; i < 16; i++ {
+			c.Task(noop)
+		}
+		c.Taskwait()
+	}
+	for i := 0; i < 50; i++ { // warm the pools
+		pt.SubmitWait(body)
+	}
+	allocs := testing.AllocsPerRun(300, func() { pt.SubmitWait(body) })
+	pt.Close()
+	return Metric{
+		Name:   "serve/submit-allocs",
+		Value:  allocs,
+		Unit:   "allocs/request",
+		Better: "lower",
+		Gate:   true,
+		Params: "workers=1/tasks=16",
+	}
+}

@@ -109,6 +109,15 @@ func Run(o Options) (*Report, error) {
 		rep.Metrics = append(rep.Metrics, m)
 	}
 
+	// Service mode: persistent-team submission allocations (gated),
+	// shed rate at calibrated load (gated at zero), and informational
+	// tail-latency percentiles. See service.go.
+	svc, err := serviceMetrics(o)
+	if err != nil {
+		return nil, err
+	}
+	rep.Metrics = append(rep.Metrics, svc...)
+
 	if err := rep.Validate(); err != nil {
 		return nil, fmt.Errorf("perf: suite produced an invalid report: %w", err)
 	}

@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Log-bucketed latency histogram, HDR-style: values are bucketed by
+// their power-of-two octave, each octave split into 2^subBits linear
+// sub-buckets, so the relative quantization error is bounded by
+// 1/2^subBits (≈6%) at every magnitude from nanoseconds to hours in a
+// fixed ~500-slot array. Recording is a single atomic increment, safe
+// from any worker goroutine concurrently with other recordings;
+// quantile extraction is meant for after the run (it reads the
+// buckets non-atomically-consistently, which during a run only blurs
+// the tail by in-flight samples).
+const (
+	subBits   = 3
+	subCount  = 1 << subBits
+	histSlots = (64 - subBits) * subCount
+)
+
+type hist struct {
+	buckets [histSlots]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+}
+
+// bucketOf maps a non-negative value to its slot: exact buckets below
+// subCount, then (octave, sub-bucket) pairs.
+func bucketOf(v int64) int {
+	if v < subCount {
+		return int(v)
+	}
+	shift := bits.Len64(uint64(v)) - 1 - subBits
+	return (shift << subBits) + int((v>>shift)&(subCount-1)) + subCount
+}
+
+// bucketUpper returns the largest value mapping to slot idx — the
+// conservative (pessimistic) representative used for quantiles.
+func bucketUpper(idx int) int64 {
+	if idx < subCount {
+		return int64(idx)
+	}
+	shift := (idx - subCount) >> subBits
+	sub := int64(idx & (subCount - 1))
+	return (subCount+sub+1)<<shift - 1
+}
+
+// record adds one duration sample.
+func (h *hist) record(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// quantile returns the upper bound of the bucket containing the q-th
+// sample (0 < q ≤ 1), clamped to the exact observed max so the
+// pessimistic bucket bound never overshoots it; 0 for an empty
+// histogram.
+func (h *hist) quantile(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := int64(q * float64(total))
+	if target < 1 {
+		target = 1
+	}
+	max := h.max.Load()
+	var seen int64
+	for i := 0; i < histSlots; i++ {
+		seen += h.buckets[i].Load()
+		if seen >= target {
+			if up := bucketUpper(i); up < max {
+				return up
+			}
+			return max
+		}
+	}
+	return max
+}
+
+// LatencyStats is the serialized summary of one histogram. All values
+// are nanoseconds; quantiles are upper bucket bounds (pessimistic to
+// ≈6%), Max and Mean are exact.
+type LatencyStats struct {
+	Count int64 `json:"count"`
+	P50   int64 `json:"p50_ns"`
+	P90   int64 `json:"p90_ns"`
+	P99   int64 `json:"p99_ns"`
+	P999  int64 `json:"p999_ns"`
+	Max   int64 `json:"max_ns"`
+	Mean  int64 `json:"mean_ns"`
+}
+
+// summary extracts the report form of the histogram.
+func (h *hist) summary() LatencyStats {
+	n := h.count.Load()
+	s := LatencyStats{
+		Count: n,
+		P50:   h.quantile(0.50),
+		P90:   h.quantile(0.90),
+		P99:   h.quantile(0.99),
+		P999:  h.quantile(0.999),
+		Max:   h.max.Load(),
+	}
+	if n > 0 {
+		s.Mean = h.sum.Load() / n
+	}
+	return s
+}

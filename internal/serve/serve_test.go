@@ -1,0 +1,278 @@
+package serve
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bots/internal/core"
+	"bots/internal/omp"
+)
+
+// TestHistBuckets checks the slot mapping: every value lands in a
+// bucket whose upper bound is ≥ the value and within the promised
+// relative error, and slots tile the range without gaps.
+func TestHistBuckets(t *testing.T) {
+	prevUpper := int64(-1)
+	for idx := 0; idx < histSlots; idx++ {
+		up := bucketUpper(idx)
+		if up <= prevUpper {
+			t.Fatalf("bucketUpper(%d) = %d, not above previous %d", idx, up, prevUpper)
+		}
+		if got := bucketOf(up); got != idx {
+			t.Fatalf("bucketOf(bucketUpper(%d)=%d) = %d", idx, up, got)
+		}
+		// The first value of this bucket is one past the previous
+		// bucket's upper bound — no gaps.
+		if got := bucketOf(prevUpper + 1); got != idx {
+			t.Fatalf("bucketOf(%d) = %d, want %d", prevUpper+1, got, idx)
+		}
+		prevUpper = up
+		if up > int64(1)<<62 {
+			break
+		}
+	}
+	for _, v := range []int64{0, 1, 7, 8, 9, 100, 12345, 1e9, 1e15} {
+		idx := bucketOf(v)
+		up := bucketUpper(idx)
+		if up < v {
+			t.Fatalf("value %d mapped to bucket %d with upper %d < value", v, idx, up)
+		}
+		if v >= subCount && float64(up-v) > float64(v)/subCount {
+			t.Fatalf("value %d bucket upper %d exceeds relative error bound", v, up)
+		}
+	}
+}
+
+// TestHistQuantiles feeds a known distribution and checks the
+// quantiles against exact order statistics (within bucket error).
+func TestHistQuantiles(t *testing.T) {
+	var h hist
+	// 1000 samples: i microseconds for i in [1,1000].
+	for i := 1; i <= 1000; i++ {
+		h.record(time.Duration(i) * time.Microsecond)
+	}
+	s := h.summary()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	check := func(name string, got, exact int64) {
+		t.Helper()
+		if got < exact || float64(got-exact) > float64(exact)/subCount+1 {
+			t.Errorf("%s = %d, want within bucket error above %d", name, got, exact)
+		}
+	}
+	check("p50", s.P50, 500*1000)
+	check("p90", s.P90, 900*1000)
+	check("p99", s.P99, 990*1000)
+	check("p999", s.P999, 999*1000)
+	if s.Max != 1000*1000 {
+		t.Errorf("max = %d, want exact 1000000", s.Max)
+	}
+	if want := int64(500500) * 1000 / 1000; s.Mean != want {
+		t.Errorf("mean = %d, want %d", s.Mean, want)
+	}
+}
+
+// TestArrivalProcesses draws many gaps from each process and checks
+// the realized mean rate against the target.
+func TestArrivalProcesses(t *testing.T) {
+	const rate = 1000.0
+	for _, proc := range []string{ArrivalPoisson, ArrivalFixed, ArrivalBursty} {
+		gen := newArrivals(Config{Rate: rate, Arrivals: proc, Seed: 7,
+			BurstFactor: 4, BurstDwell: 50 * time.Millisecond})
+		const n = 20000
+		var total time.Duration
+		for i := 0; i < n; i++ {
+			g := gen.next()
+			if g < 0 {
+				t.Fatalf("%s: negative gap %v", proc, g)
+			}
+			total += g
+		}
+		realized := n / total.Seconds()
+		// Poisson/fixed should sit on the target; the bursty envelope
+		// oscillates around it (mean ≈ rate×(f+1/f)/2 per dwell mix),
+		// so only bound it loosely.
+		lo, hi := 0.9*rate, 1.1*rate
+		if proc == ArrivalBursty {
+			lo, hi = 0.3*rate, 4*rate
+		}
+		if realized < lo || realized > hi {
+			t.Errorf("%s: realized rate %.1f/s outside [%.0f, %.0f]", proc, realized, lo, hi)
+		}
+	}
+}
+
+// TestOpenLoopProperty is the defining test of the generator: with a
+// server that completes nothing (bodies block until released), an
+// open-loop generator must keep admitting on schedule until the
+// in-flight cap, then shed — it must never slow down to the server's
+// pace. A closed-loop generator would stall at the first request.
+func TestOpenLoopProperty(t *testing.T) {
+	const (
+		workers = 2
+		cap     = 8
+		rate    = 2000.0
+	)
+	release := make(chan struct{})
+	var started atomic.Int64
+	pt := omp.NewPersistentTeam(workers, omp.WithScheduler(omp.DefaultScheduler))
+
+	var inflight atomic.Int64
+	var submitted, shed int64
+	gen := newArrivals(Config{Rate: rate, Arrivals: ArrivalPoisson, Seed: 3})
+	begin := time.Now()
+	deadline := begin.Add(300 * time.Millisecond)
+	next := begin.Add(gen.next())
+	for next.Before(deadline) {
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		if inflight.Load() >= cap {
+			shed++
+		} else {
+			inflight.Add(1)
+			submitted++
+			pt.SubmitDetached(func(c *omp.Context) {
+				started.Add(1)
+				<-release
+			}, func() { inflight.Add(-1) })
+		}
+		next = next.Add(gen.next())
+	}
+	if submitted != cap {
+		t.Errorf("submitted = %d, want exactly the in-flight cap %d", submitted, cap)
+	}
+	// ~600 arrivals were scheduled; all but the cap must be shed, not
+	// deferred: the generator never blocked on the stuck server.
+	if shed < 300 {
+		t.Errorf("shed = %d, want hundreds (generator must not slow to server pace)", shed)
+	}
+	close(release)
+	pt.Drain()
+	pt.Close()
+	if got := started.Load(); got != int64(submitted) {
+		t.Errorf("started %d of %d admitted requests", got, submitted)
+	}
+}
+
+// TestRunHealth runs the acceptance-shaped configuration (health,
+// workfirst) in fixed-request mode and validates the report.
+func TestRunHealth(t *testing.T) {
+	rep, err := Run(Config{
+		Bench:     "health",
+		Class:     core.Test,
+		Scheduler: "workfirst",
+		Cutoff:    -1,
+		Workers:   2,
+		Rate:      2000,
+		Requests:  60,
+		Seed:      11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Submitted+rep.Shed != 60 {
+		t.Errorf("arrivals = %d + %d shed, want 60 total", rep.Submitted, rep.Shed)
+	}
+	if rep.VerifyFailures != 0 {
+		t.Errorf("verify failures = %d", rep.VerifyFailures)
+	}
+	if rep.Runtime.TasksCreated == 0 {
+		t.Errorf("runtime stats empty: %+v", rep.Runtime)
+	}
+	if rep.ThroughputHz <= 0 || rep.OfferedHz <= 0 {
+		t.Errorf("rates not positive: offered %.1f throughput %.1f", rep.OfferedHz, rep.ThroughputHz)
+	}
+}
+
+// TestRunAllWorkloads runs every registered workload briefly on every
+// registered scheduler, checking verification end to end.
+func TestRunAllWorkloads(t *testing.T) {
+	for _, bench := range WorkloadNames() {
+		for _, sched := range omp.Schedulers() {
+			rep, err := Run(Config{
+				Bench:     bench,
+				Class:     core.Test,
+				Scheduler: sched,
+				Cutoff:    -1,
+				Workers:   2,
+				Rate:      500,
+				Requests:  8,
+				Seed:      5,
+			})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", bench, sched, err)
+			}
+			if err := rep.Validate(); err != nil {
+				t.Fatalf("%s/%s: %v", bench, sched, err)
+			}
+			if rep.VerifyFailures != 0 {
+				t.Errorf("%s/%s: %d verification failures", bench, sched, rep.VerifyFailures)
+			}
+			if rep.Completed == 0 {
+				t.Errorf("%s/%s: no requests completed", bench, sched)
+			}
+		}
+	}
+}
+
+// TestRunBursty exercises the MMPP arrival path end to end.
+func TestRunBursty(t *testing.T) {
+	rep, err := Run(Config{
+		Bench:      "health",
+		Class:      core.Test,
+		Arrivals:   ArrivalBursty,
+		Workers:    2,
+		Rate:       1000,
+		Requests:   40,
+		Seed:       9,
+		BurstDwell: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunRejectsBadConfig covers the validation paths.
+func TestRunRejectsBadConfig(t *testing.T) {
+	bad := []Config{
+		{Bench: "nope", Rate: 1, Requests: 1},
+		{Bench: "health", Rate: 0, Requests: 1},
+		{Bench: "health", Rate: 1},
+		{Bench: "health", Rate: 1, Requests: 1, Scheduler: "nope"},
+		{Bench: "health", Rate: 1, Requests: 1, Arrivals: "nope"},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("config %d: expected error", i)
+		}
+	}
+}
+
+// TestQueueingFromScheduledTime checks the coordinated-omission
+// convention: with a fixed schedule and a deliberately stalled first
+// request, later requests' queueing delay is charged from their
+// scheduled arrival even though they were admitted late.
+func TestQueueingFromScheduledTime(t *testing.T) {
+	var h hist
+	sched := time.Now()
+	// Simulate: request scheduled at t0, but only started 10ms later.
+	start := sched.Add(10 * time.Millisecond)
+	h.record(start.Sub(sched))
+	s := h.summary()
+	if s.Max < int64(9*time.Millisecond) {
+		t.Fatalf("queueing max %v does not reflect the stall", time.Duration(s.Max))
+	}
+	if math.IsNaN(float64(s.Mean)) || s.Mean <= 0 {
+		t.Fatalf("mean = %d", s.Mean)
+	}
+}

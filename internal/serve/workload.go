@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+
+	"bots/internal/apps/alignment"
+	"bots/internal/apps/health"
+	"bots/internal/apps/sparselu"
+	"bots/internal/core"
+	"bots/internal/omp"
+)
+
+// A Workload adapts one BOTS kernel to service mode: each request is
+// an independent task DAG submitted to a persistent team, verified
+// against the kernel's deterministic sequential reference.
+type Workload struct {
+	Name string
+	// Prepare builds the shared read-only state (inputs, reference
+	// digests) once per run. cutoff < 0 selects the workload default.
+	Prepare func(class core.Class, cutoff int) (*Prepared, error)
+}
+
+// Prepared is the per-run request factory for one workload.
+type Prepared struct {
+	// NewRequest materializes one request's private state. It is
+	// called on the generator goroutine at arrival time, so it should
+	// be cheap relative to the request's service time. body runs as
+	// the root task of a persistent-team submission and must have
+	// fully joined its DAG when it returns (the adapters end with the
+	// kernel's own taskwaits); verify then checks the result against
+	// the sequential reference.
+	NewRequest func() (body func(*omp.Context), verify func() bool)
+}
+
+var workloads = map[string]*Workload{}
+
+func registerWorkload(w *Workload) { workloads[w.Name] = w }
+
+// LookupWorkload returns the named service workload, or an error
+// naming the registered set.
+func LookupWorkload(name string) (*Workload, error) {
+	if w, ok := workloads[name]; ok {
+		return w, nil
+	}
+	return nil, fmt.Errorf("serve: unknown workload %q (have %v)", name, WorkloadNames())
+}
+
+// WorkloadNames returns the registered workload names, sorted.
+func WorkloadNames() []string {
+	names := make([]string, 0, len(workloads))
+	for name := range workloads {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	registerWorkload(&Workload{
+		Name: "health",
+		Prepare: func(class core.Class, cutoff int) (*Prepared, error) {
+			if cutoff < 0 {
+				cutoff = health.DefaultCutoffLevel
+			}
+			steps := health.Steps(class)
+			ref := health.BuildClass(class)
+			health.SeqSimulate(ref, steps)
+			refDigest := health.Digest(ref)
+			return &Prepared{
+				NewRequest: func() (func(*omp.Context), func() bool) {
+					v := health.BuildClass(class)
+					body := func(c *omp.Context) { health.Simulate(c, v, steps, cutoff) }
+					verify := func() bool { return health.Digest(v) == refDigest }
+					return body, verify
+				},
+			}, nil
+		},
+	})
+
+	registerWorkload(&Workload{
+		Name: "alignment",
+		Prepare: func(class core.Class, cutoff int) (*Prepared, error) {
+			seqs := alignment.Sequences(class)
+			refScores, _ := alignment.SeqAlign(seqs)
+			refDigest := alignment.Digest(refScores)
+			n := len(seqs)
+			return &Prepared{
+				NewRequest: func() (func(*omp.Context), func() bool) {
+					scores := make([]int32, n*(n-1)/2)
+					body := func(c *omp.Context) {
+						for i := 0; i < n; i++ {
+							for j := i + 1; j < n; j++ {
+								i, j := i, j
+								c.Task(func(c *omp.Context) {
+									s, w := alignment.Score(seqs[i], seqs[j])
+									scores[alignment.PairIndex(n, i, j)] = s
+									c.AddWork(w)
+								})
+							}
+						}
+						c.Taskwait()
+					}
+					verify := func() bool { return alignment.Digest(scores) == refDigest }
+					return body, verify
+				},
+			}, nil
+		},
+	})
+
+	registerWorkload(&Workload{
+		Name: "sparselu-dep",
+		Prepare: func(class core.Class, cutoff int) (*Prepared, error) {
+			nb, bs := sparselu.DimsFor(class)
+			base := sparselu.NewMatrix(nb, bs)
+			ref := base.Clone()
+			sparselu.Seq(ref)
+			refDigest := sparselu.Digest(ref)
+			return &Prepared{
+				NewRequest: func() (func(*omp.Context), func() bool) {
+					m := base.Clone()
+					body := func(c *omp.Context) {
+						sparselu.ParDep(c, m, false)
+						c.Taskwait()
+					}
+					verify := func() bool { return sparselu.Digest(m) == refDigest }
+					return body, verify
+				},
+			}, nil
+		},
+	})
+}
