@@ -23,11 +23,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	_ "bots/internal/apps/all"
 	"bots/internal/core"
 	"bots/internal/lab"
+	"bots/internal/obs"
 	"bots/internal/omp"
 	"bots/internal/sim"
 	"bots/internal/trace"
@@ -47,6 +49,7 @@ func main() {
 		simulate  = flag.Int("simulate", 0, "also record a task graph and simulate this many virtual threads (0 = off)")
 		jsonOut   = flag.Bool("json", false, "run the full lab pipeline (seq reference + verify + simulate; -simulate 0 means the recording team size) and emit the machine-readable lab Record instead of text")
 		storePath = flag.String("store", "", "with -json: persist the record in (and answer cache hits from) this lab store")
+		obsDump   = flag.Bool("obs", false, "after the run, dump its runtime counters as bots_run_* Prometheus text exposition on stdout")
 	)
 	flag.Parse()
 
@@ -151,6 +154,26 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println("  verification: OK")
+	}
+	if *obsDump {
+		// One-shot exposition dump of the finished region's counters —
+		// the same vocabulary a live team publishes (obs/DESIGN.md
+		// §11), labeled with the run's cell coordinates so dumps from
+		// different cells can be concatenated and still be valid.
+		reg := obs.NewRegistry()
+		st := *res.Stats
+		omp.RegisterStats(reg, "bots_run", func() omp.Stats { return st },
+			obs.Label{Name: "bench", Value: b.Name},
+			obs.Label{Name: "version", Value: v},
+			obs.Label{Name: "scheduler", Value: *policy},
+			obs.Label{Name: "threads", Value: strconv.Itoa(cfg.Threads)})
+		reg.GaugeFunc("bots_run_elapsed_seconds", "Wall-clock time of the parallel run.",
+			func() float64 { return res.Elapsed.Seconds() },
+			obs.Label{Name: "bench", Value: b.Name},
+			obs.Label{Name: "version", Value: v},
+			obs.Label{Name: "scheduler", Value: *policy},
+			obs.Label{Name: "threads", Value: strconv.Itoa(cfg.Threads)})
+		fatal(reg.WritePrometheus(os.Stdout))
 	}
 	if *simulate > 0 {
 		tr := rec.Finish()

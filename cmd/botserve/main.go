@@ -23,12 +23,17 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
+	"sync/atomic"
 	"strings"
 	"text/tabwriter"
 	"time"
 
 	"bots/internal/core"
+	"bots/internal/obs"
 	"bots/internal/serve"
 )
 
@@ -46,6 +51,9 @@ func main() {
 		inflight  = flag.Int("max-inflight", 0, "admission cap before shedding (0 = 64×workers)")
 		seed      = flag.Uint64("seed", 1, "arrival-process RNG seed")
 		asJSON    = flag.Bool("json", false, "emit the bots-serve/v1 report as JSON on stdout")
+		metrics   = flag.String("metrics-addr", "", "listen address for GET /metrics + pprof + /debug/flightrec (empty = off)")
+		frCap     = flag.Int("flight-recorder", 0, "per-worker scheduler-event ring size (0 = off; implied 4096 when -metrics-addr is set)")
+		stallThr  = flag.Duration("stall-threshold", time.Second, "dump the flight recorder when live tasks sit unclaimed with all workers parked this long (needs -flight-recorder)")
 	)
 	flag.Parse()
 
@@ -53,19 +61,46 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	rep, err := serve.Run(serve.Config{
-		Bench:       *bench,
-		Class:       cls,
-		Scheduler:   *scheduler,
-		Cutoff:      *cutoff,
-		Workers:     *workers,
-		Rate:        *rate,
-		Arrivals:    *arrivals,
-		Duration:    *duration,
-		Requests:    *requests,
-		MaxInflight: *inflight,
-		Seed:        *seed,
-	})
+
+	cfg := serve.Config{
+		Bench:             *bench,
+		Class:             cls,
+		Scheduler:         *scheduler,
+		Cutoff:            *cutoff,
+		Workers:           *workers,
+		Rate:              *rate,
+		Arrivals:          *arrivals,
+		Duration:          *duration,
+		Requests:          *requests,
+		MaxInflight:       *inflight,
+		Seed:              *seed,
+		FlightRecorderCap: *frCap,
+	}
+	var flightRec atomic.Pointer[obs.FlightRecorder]
+	if *metrics != "" {
+		// The metrics listener observes the run live: the serve layer
+		// registers its request counters/histograms and the team's
+		// gauges into the registry, and the flight recorder (enabled
+		// implicitly here) is dumpable at /debug/flightrec and dumped
+		// to stderr automatically if the stall detector fires.
+		cfg.Obs = obs.NewRegistry()
+		if cfg.FlightRecorderCap <= 0 {
+			cfg.FlightRecorderCap = 4096
+		}
+		startMetricsListener(*metrics, cfg.Obs, flightRec.Load)
+	}
+	if cfg.FlightRecorderCap > 0 {
+		cfg.OnRecorder = func(fr *obs.FlightRecorder) { flightRec.Store(fr) }
+		if *stallThr > 0 {
+			cfg.StallThreshold = *stallThr
+			cfg.OnStall = func(fr *obs.FlightRecorder) {
+				fmt.Fprintf(os.Stderr, "botserve: stall detected (live tasks with all workers parked > %v); flight-recorder dump:\n", *stallThr)
+				fr.WriteJSON(os.Stderr)
+			}
+		}
+	}
+
+	rep, err := serve.Run(cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -112,6 +147,38 @@ func printReport(r *serve.Report) {
 
 func ms(ns int64) string {
 	return time.Duration(ns).Round(time.Microsecond).String()
+}
+
+// startMetricsListener binds the observability endpoint immediately
+// (so a scrape racing process startup gets a connection, not a
+// refusal) and serves it for the life of the process:
+//
+//	GET /metrics           Prometheus text exposition of reg
+//	GET /debug/flightrec   bots-flightrec/v1 JSON dump (404 until the
+//	                       run attaches its recorder)
+//	GET /debug/pprof/...   net/http/pprof profiles
+func startMetricsListener(addr string, reg *obs.Registry, getFR func() *obs.FlightRecorder) {
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", reg.Handler())
+	mux.HandleFunc("GET /debug/flightrec", func(w http.ResponseWriter, r *http.Request) {
+		fr := getFR()
+		if fr == nil {
+			http.Error(w, "flight recorder not attached", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fr.WriteJSON(w)
+	})
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal(err)
+	}
+	go http.Serve(ln, mux)
 }
 
 func fatal(err error) {

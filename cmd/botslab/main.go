@@ -27,6 +27,7 @@ import (
 
 	_ "bots/internal/apps/all"
 	"bots/internal/lab"
+	"bots/internal/obs"
 	"bots/internal/report"
 )
 
@@ -89,8 +90,11 @@ func main() {
 			Disp:   disp,
 			Store:  store,
 			Render: report.RenderFuncFor(runner),
+			// The process-wide registry behind GET /metrics; the server
+			// adds its bots_lab_* gauges on Handler construction.
+			Obs: obs.NewRegistry(),
 		}
-		fmt.Fprintf(os.Stderr, "botslab: serving on %s (store %s, %d records)\n", *serve, *storePath, store.Len())
+		fmt.Fprintf(os.Stderr, "botslab: serving on %s (store %s, %d records; /metrics + pprof mounted)\n", *serve, *storePath, store.Len())
 		fatal(http.ListenAndServe(*serve, server.Handler()))
 	}
 }

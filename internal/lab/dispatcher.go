@@ -194,6 +194,39 @@ func (d *Dispatcher) Sweep(id string) (*Sweep, bool) {
 	return sw, ok
 }
 
+// Counts is the dispatcher-wide job accounting across every sweep,
+// plus whether the dispatcher still accepts submissions — the
+// readiness view /healthz and the bots_lab_* gauges expose.
+type Counts struct {
+	Accepting bool `json:"accepting"`
+	Sweeps    int  `json:"sweeps"`
+	Queued    int  `json:"queued"`
+	Running   int  `json:"running"`
+	Done      int  `json:"done"`
+	Failed    int  `json:"failed"`
+}
+
+// Counts aggregates the job states of all sweeps. Like Sweep.Status
+// it is a point-in-time snapshot, consistent per sweep.
+func (d *Dispatcher) Counts() Counts {
+	d.mu.Lock()
+	c := Counts{Accepting: !d.closed}
+	sweeps := make([]*Sweep, 0, len(d.order))
+	for _, id := range d.order {
+		sweeps = append(sweeps, d.sweeps[id])
+	}
+	d.mu.Unlock()
+	for _, sw := range sweeps {
+		st := sw.Status()
+		c.Sweeps++
+		c.Queued += st.Queued
+		c.Running += st.Running
+		c.Done += st.Done
+		c.Failed += st.Failed
+	}
+	return c
+}
+
 // Sweeps returns all sweeps in submission order.
 func (d *Dispatcher) Sweeps() []*Sweep {
 	d.mu.Lock()

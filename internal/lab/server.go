@@ -7,11 +7,14 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"bots/internal/core"
+	"bots/internal/obs"
 )
 
 // ErrUnknownFigure is returned by a RenderFunc for a figure name it
@@ -33,6 +36,14 @@ type Server struct {
 	Render RenderFunc
 	// PollInterval is the status-streaming poll period (default 100ms).
 	PollInterval time.Duration
+	// Obs backs GET /metrics. When nil, Handler creates a private
+	// registry; either way the server's own bots_lab_* gauges (store
+	// size, sweep/job counts) are registered into it on first Handler
+	// call, so a shared registry (cmd/botslab passes one) exposes lab
+	// state alongside whatever else the process publishes.
+	Obs *obs.Registry
+
+	obsOnce sync.Once
 }
 
 // Handler returns the service's HTTP handler:
@@ -44,18 +55,96 @@ type Server struct {
 //	GET  /results             records, filterable by bench/version/
 //	                          class/threads/key/verified
 //	GET  /report/{figure}     render a report artifact from the store
-//	GET  /healthz             liveness
+//	GET  /healthz             liveness + readiness (store/dispatcher counts)
+//	GET  /metrics             Prometheus text exposition (Obs registry)
+//	GET  /debug/pprof/...     net/http/pprof profiles
 func (s *Server) Handler() http.Handler {
+	s.obsOnce.Do(func() {
+		if s.Obs == nil {
+			s.Obs = obs.NewRegistry()
+		}
+		s.registerObs(s.Obs)
+	})
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /sweeps", s.handleSubmit)
 	mux.HandleFunc("GET /sweeps", s.handleListSweeps)
 	mux.HandleFunc("GET /sweeps/{id}", s.handleSweep)
 	mux.HandleFunc("GET /results", s.handleResults)
 	mux.HandleFunc("GET /report/{figure}", s.handleReport)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "records": s.Store.Len()})
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.Handle("GET /metrics", s.Obs.Handler())
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// registerObs publishes the lab server's own state as scrape-time
+// gauges (DESIGN.md §11): store size, sweep count, and job counts by
+// state.
+func (s *Server) registerObs(reg *obs.Registry) {
+	reg.GaugeFunc("bots_lab_store_records", "Result records cached in the store.",
+		func() float64 {
+			if s.Store == nil {
+				return 0
+			}
+			return float64(s.Store.Len())
+		})
+	reg.GaugeFunc("bots_lab_sweeps", "Sweeps submitted to the dispatcher.",
+		func() float64 {
+			if s.Disp == nil {
+				return 0
+			}
+			return float64(s.Disp.Counts().Sweeps)
+		})
+	for _, st := range []struct {
+		name string
+		sel  func(Counts) int
+	}{
+		{"queued", func(c Counts) int { return c.Queued }},
+		{"running", func(c Counts) int { return c.Running }},
+		{"done", func(c Counts) int { return c.Done }},
+		{"failed", func(c Counts) int { return c.Failed }},
+	} {
+		st := st
+		reg.GaugeFunc("bots_lab_jobs", "Dispatcher jobs by state.",
+			func() float64 {
+				if s.Disp == nil {
+					return 0
+				}
+				return float64(st.sel(s.Disp.Counts()))
+			}, obs.Label{Name: "state", Value: st.name})
+	}
+}
+
+// handleHealthz reports liveness plus readiness: a fleet probe needs
+// to distinguish a process that is up from one that can actually take
+// work, so the body carries the store size and the dispatcher's
+// accepting flag and queued/running/done/failed counts. ok means the
+// process is live; ready means submissions are currently accepted.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	var c Counts
+	if s.Disp != nil {
+		c = s.Disp.Counts()
+	}
+	records := 0
+	if s.Store != nil {
+		records = s.Store.Len()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":      true,
+		"ready":   c.Accepting,
+		"records": records,
+		"sweeps":  c.Sweeps,
+		"jobs": map[string]int{
+			"queued":  c.Queued,
+			"running": c.Running,
+			"done":    c.Done,
+			"failed":  c.Failed,
+		},
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -223,3 +223,101 @@ func TestServerErrors(t *testing.T) {
 		t.Errorf("unknown-field manifest status = %d, want 400", resp.StatusCode)
 	}
 }
+
+// TestServerObservability covers the observability surface added with
+// internal/obs: /healthz readiness JSON, /metrics exposition with the
+// bots_lab_* gauges, and the pprof mounts.
+func TestServerObservability(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+
+	// Run one small sweep so the job gauges have state to report.
+	manifest := `{"name":"obs","benches":["fib"],"versions":["manual-tied"],
+		"classes":["test"],"threads":[1],"cutoff_depths":[3]}`
+	resp, err := http.Post(ts.URL+"/sweeps", "application/json", strings.NewReader(manifest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st lab.SweepStatus
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("submit response: %v\n%s", err, body)
+	}
+	sw, ok := findSweep(ts, t, st.ID)
+	if !ok {
+		t.Fatalf("sweep %s not found", st.ID)
+	}
+	_ = sw
+
+	// Poll /healthz until the job is done; the body must carry the
+	// readiness fields a fleet probe needs.
+	var hz struct {
+		OK      bool `json:"ok"`
+		Ready   bool `json:"ready"`
+		Records int  `json:"records"`
+		Sweeps  int  `json:"sweeps"`
+		Jobs    struct {
+			Queued  int `json:"queued"`
+			Running int `json:"running"`
+			Done    int `json:"done"`
+			Failed  int `json:"failed"`
+		} `json:"jobs"`
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		getJSON(t, ts.URL+"/healthz", &hz)
+		if !hz.OK || !hz.Ready {
+			t.Fatalf("healthz not ok/ready: %+v", hz)
+		}
+		if hz.Jobs.Done == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never finished: %+v", hz)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if hz.Sweeps != 1 || hz.Jobs.Failed != 0 {
+		t.Errorf("healthz counts = %+v", hz)
+	}
+
+	// /metrics: exposition format with the lab gauges.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if ct := mresp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("metrics Content-Type = %q", ct)
+	}
+	out := string(mbody)
+	for _, want := range []string{
+		"# TYPE bots_lab_jobs gauge",
+		`bots_lab_jobs{state="done"} 1`,
+		"bots_lab_sweeps 1",
+		"bots_lab_store_records",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, out)
+		}
+	}
+
+	// pprof index answers.
+	presp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusOK {
+		t.Errorf("pprof index status = %d", presp.StatusCode)
+	}
+}
+
+// findSweep fetches one sweep's status by id, reporting existence.
+func findSweep(ts *httptest.Server, t *testing.T, id string) (lab.SweepStatus, bool) {
+	t.Helper()
+	var st lab.SweepStatus
+	resp := getJSON(t, ts.URL+"/sweeps/"+id, &st)
+	return st, resp.StatusCode == http.StatusOK
+}

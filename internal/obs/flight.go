@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// FlightRecorderSchema identifies the JSON dump layout.
+const FlightRecorderSchema = "bots-flightrec/v1"
+
+// EventKind classifies one scheduler event in the flight recorder.
+type EventKind uint8
+
+const (
+	// EvSpawn: a deferred task became runnable (queued); Arg is its depth.
+	EvSpawn EventKind = iota
+	// EvSteal: a worker took a task queued for another worker; Arg is
+	// the stolen task's depth.
+	EvSteal
+	// EvPark: a worker exhausted its spin budget and blocked on the
+	// team doorbell; Arg is the team live-task count at the park.
+	EvPark
+	// EvWake: a parked worker resumed; Arg is the park duration in ns.
+	EvWake
+	// EvSubmit: a persistent-team submission was accepted (recorded on
+	// the external ring — the submitter is not a team worker); Arg is
+	// the inbox length after the append.
+	EvSubmit
+	// EvFinish: a deferred task completed; Arg is its depth.
+	EvFinish
+
+	evKinds
+)
+
+var evKindNames = [evKinds]string{"spawn", "steal", "park", "wake", "submit", "finish"}
+
+// String returns the kind's dump vocabulary name.
+func (k EventKind) String() string {
+	if int(k) < len(evKindNames) {
+		return evKindNames[k]
+	}
+	return "unknown"
+}
+
+// Event is one recorded scheduler event.
+type Event struct {
+	TimeNS int64     // wall-clock nanoseconds (time.Now().UnixNano())
+	Worker int       // team slot; -1 for external (submitter) events
+	Kind   EventKind //
+	Arg    int64     // kind-specific payload, see the kind constants
+}
+
+// evRing is one bounded drop-oldest event ring. Each team worker owns
+// one (single writer, so the mutex is uncontended — one CAS per
+// event); the external ring serializes non-worker writers (request
+// submitters) behind the same mutex. The mutex also makes Snapshot
+// race-free against writers, which is what lets a stall dump read the
+// rings while the team is live.
+type evRing struct {
+	mu  sync.Mutex
+	buf []Event
+	n   uint64 // total events ever recorded on this ring
+	_   [40]byte
+}
+
+func (r *evRing) record(ev Event) {
+	r.mu.Lock()
+	r.buf[r.n%uint64(len(r.buf))] = ev
+	r.n++
+	r.mu.Unlock()
+}
+
+// snapshot appends the ring's retained events, oldest first.
+func (r *evRing) snapshot(out []Event) []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cap64 := uint64(len(r.buf))
+	start := uint64(0)
+	if r.n > cap64 {
+		start = r.n - cap64
+	}
+	for i := start; i < r.n; i++ {
+		out = append(out, r.buf[i%cap64])
+	}
+	return out
+}
+
+// FlightRecorder is a bounded ring-buffer recorder of scheduler
+// events: one drop-oldest ring per team worker plus one external ring
+// for submitter-side events. Recording is allocation-free (the rings
+// are sized at construction) and costs one uncontended mutex
+// round-trip plus a clock read per event; it is off unless a team was
+// built with omp.WithFlightRecorder, so the default hot path pays
+// only a nil check.
+type FlightRecorder struct {
+	rings []evRing // workers rings, then one external ring
+}
+
+// NewFlightRecorder sizes a recorder for a team of `workers`, keeping
+// the most recent perWorker events per worker (and per the external
+// submit ring). perWorker < 16 is raised to 16.
+func NewFlightRecorder(workers, perWorker int) *FlightRecorder {
+	if workers < 1 {
+		workers = 1
+	}
+	if perWorker < 16 {
+		perWorker = 16
+	}
+	fr := &FlightRecorder{rings: make([]evRing, workers+1)}
+	for i := range fr.rings {
+		fr.rings[i].buf = make([]Event, perWorker)
+	}
+	return fr
+}
+
+// Workers returns the per-worker ring count (excluding the external
+// ring).
+func (fr *FlightRecorder) Workers() int { return len(fr.rings) - 1 }
+
+// Record appends one event. worker < 0 (or >= the team size) lands on
+// the external ring.
+func (fr *FlightRecorder) Record(worker int, kind EventKind, arg int64) {
+	idx := len(fr.rings) - 1
+	if worker >= 0 && worker < idx {
+		idx = worker
+	} else {
+		worker = -1
+	}
+	fr.rings[idx].record(Event{TimeNS: time.Now().UnixNano(), Worker: worker, Kind: kind, Arg: arg})
+}
+
+// Snapshot returns the retained events of every ring, merged and
+// sorted by timestamp. Safe concurrently with recording; each ring is
+// copied consistently, the merge is a point-in-time cut per ring.
+func (fr *FlightRecorder) Snapshot() []Event {
+	var out []Event
+	for i := range fr.rings {
+		out = fr.rings[i].snapshot(out)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].TimeNS < out[j].TimeNS })
+	return out
+}
+
+// Dropped returns the total events evicted by ring wrap so far.
+func (fr *FlightRecorder) Dropped() int64 {
+	var dropped int64
+	for i := range fr.rings {
+		r := &fr.rings[i]
+		r.mu.Lock()
+		if c := uint64(len(r.buf)); r.n > c {
+			dropped += int64(r.n - c)
+		}
+		r.mu.Unlock()
+	}
+	return dropped
+}
+
+// eventJSON is the dump form of one event.
+type eventJSON struct {
+	TimeNS int64  `json:"t_ns"`
+	Worker int    `json:"worker"`
+	Kind   string `json:"kind"`
+	Arg    int64  `json:"arg"`
+}
+
+// dumpJSON is the bots-flightrec/v1 document.
+type dumpJSON struct {
+	Schema  string      `json:"schema"`
+	Workers int         `json:"workers"`
+	Dropped int64       `json:"dropped"`
+	Events  []eventJSON `json:"events"`
+}
+
+// WriteJSON dumps the recorder's current timeline as a
+// bots-flightrec/v1 JSON document: schema, worker count, drop-oldest
+// eviction count, and the merged time-sorted event list.
+func (fr *FlightRecorder) WriteJSON(w io.Writer) error {
+	evs := fr.Snapshot()
+	d := dumpJSON{
+		Schema:  FlightRecorderSchema,
+		Workers: fr.Workers(),
+		Dropped: fr.Dropped(),
+		Events:  make([]eventJSON, len(evs)),
+	}
+	for i, ev := range evs {
+		d.Events[i] = eventJSON{TimeNS: ev.TimeNS, Worker: ev.Worker, Kind: ev.Kind.String(), Arg: ev.Arg}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestFlightRingWrap: a ring past capacity drops oldest and keeps the
+// newest perWorker events in order.
+func TestFlightRingWrap(t *testing.T) {
+	const cap = 16
+	fr := NewFlightRecorder(1, cap)
+	const total = 3*cap + 5
+	for i := 0; i < total; i++ {
+		fr.Record(0, EvSpawn, int64(i))
+	}
+	evs := fr.Snapshot()
+	if len(evs) != cap {
+		t.Fatalf("retained %d events, want %d", len(evs), cap)
+	}
+	// Drop-oldest: the retained args are the last cap values, in
+	// recording order (timestamps are non-decreasing so the sort is
+	// stable w.r.t. one ring).
+	for i, ev := range evs {
+		if want := int64(total - cap + i); ev.Arg != want {
+			t.Fatalf("event %d arg = %d, want %d", i, ev.Arg, want)
+		}
+		if ev.Worker != 0 || ev.Kind != EvSpawn {
+			t.Fatalf("event %d = %+v", i, ev)
+		}
+	}
+	if got := fr.Dropped(); got != total-cap {
+		t.Fatalf("Dropped() = %d, want %d", got, total-cap)
+	}
+}
+
+// TestFlightExternalRing: out-of-range worker ids land on the
+// external ring as worker -1.
+func TestFlightExternalRing(t *testing.T) {
+	fr := NewFlightRecorder(2, 16)
+	fr.Record(-1, EvSubmit, 1)
+	fr.Record(99, EvSubmit, 2)
+	fr.Record(1, EvSpawn, 3)
+	evs := fr.Snapshot()
+	if len(evs) != 3 {
+		t.Fatalf("snapshot len = %d", len(evs))
+	}
+	var external int
+	for _, ev := range evs {
+		if ev.Kind == EvSubmit {
+			external++
+			if ev.Worker != -1 {
+				t.Fatalf("submit event worker = %d, want -1", ev.Worker)
+			}
+		}
+	}
+	if external != 2 {
+		t.Fatalf("external events = %d, want 2", external)
+	}
+}
+
+// TestFlightConcurrent hammers every ring (including the external
+// one) from concurrent writers while snapshots run — meaningful under
+// -race; also checks no events are lost short of capacity.
+func TestFlightConcurrent(t *testing.T) {
+	const workers, per = 4, 1000
+	fr := NewFlightRecorder(workers, per)
+	stop := make(chan struct{})
+	var reader sync.WaitGroup
+	reader.Add(1)
+	go func() { // concurrent reader
+		defer reader.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				fr.Snapshot()
+				fr.Dropped()
+			}
+		}
+	}()
+	var writers sync.WaitGroup
+	for w := 0; w < workers+1; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			id := w
+			if w == workers {
+				id = -1 // external writer
+			}
+			for i := 0; i < per/2; i++ {
+				fr.Record(id, EvSpawn, int64(i))
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	reader.Wait()
+	if got := len(fr.Snapshot()); got != (workers+1)*per/2 {
+		t.Fatalf("retained %d events, want %d", got, (workers+1)*per/2)
+	}
+}
+
+// TestFlightWriteJSON: the dump is valid bots-flightrec/v1 JSON with
+// string event kinds and sorted timestamps.
+func TestFlightWriteJSON(t *testing.T) {
+	fr := NewFlightRecorder(2, 16)
+	fr.Record(0, EvPark, 0)
+	fr.Record(1, EvSteal, 2)
+	fr.Record(-1, EvSubmit, 1)
+	var b strings.Builder
+	if err := fr.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var d struct {
+		Schema  string `json:"schema"`
+		Workers int    `json:"workers"`
+		Dropped int64  `json:"dropped"`
+		Events  []struct {
+			TimeNS int64  `json:"t_ns"`
+			Worker int    `json:"worker"`
+			Kind   string `json:"kind"`
+			Arg    int64  `json:"arg"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &d); err != nil {
+		t.Fatalf("dump not valid JSON: %v\n%s", err, b.String())
+	}
+	if d.Schema != FlightRecorderSchema || d.Workers != 2 || d.Dropped != 0 {
+		t.Fatalf("header = %+v", d)
+	}
+	if len(d.Events) != 3 {
+		t.Fatalf("events = %d", len(d.Events))
+	}
+	kinds := map[string]bool{}
+	var prev int64
+	for _, ev := range d.Events {
+		kinds[ev.Kind] = true
+		if ev.TimeNS < prev {
+			t.Fatalf("events not time-sorted")
+		}
+		prev = ev.TimeNS
+	}
+	for _, k := range []string{"park", "steal", "submit"} {
+		if !kinds[k] {
+			t.Fatalf("missing kind %q in %v", k, kinds)
+		}
+	}
+}
+
+// TestEventKindNames: every kind has a distinct vocabulary name.
+func TestEventKindNames(t *testing.T) {
+	seen := map[string]bool{}
+	for k := EventKind(0); k < evKinds; k++ {
+		n := k.String()
+		if n == "" || n == "unknown" || seen[n] {
+			t.Fatalf("kind %d name %q", k, n)
+		}
+		seen[n] = true
+	}
+}

@@ -1,4 +1,4 @@
-package serve
+package obs
 
 import (
 	"math/bits"
@@ -6,22 +6,28 @@ import (
 	"time"
 )
 
-// Log-bucketed latency histogram, HDR-style: values are bucketed by
-// their power-of-two octave, each octave split into 2^subBits linear
-// sub-buckets, so the relative quantization error is bounded by
-// 1/2^subBits (≈6%) at every magnitude from nanoseconds to hours in a
-// fixed ~500-slot array. Recording is a single atomic increment, safe
-// from any worker goroutine concurrently with other recordings;
-// quantile extraction is meant for after the run (it reads the
-// buckets non-atomically-consistently, which during a run only blurs
-// the tail by in-flight samples).
+// Histogram is the suite's shared log-bucketed histogram, HDR-style:
+// values are bucketed by their power-of-two octave, each octave split
+// into 2^subBits linear sub-buckets, so the relative quantization
+// error is bounded by 1/2^subBits (≈6%) at every magnitude from
+// nanoseconds to hours in a fixed ~500-slot array. Recording is a
+// handful of atomic adds — allocation-free and safe from any
+// goroutine concurrently with other recordings; quantile extraction
+// reads the buckets non-atomically-consistently, which during a run
+// only blurs the tail by in-flight samples.
+//
+// The zero value is ready to use. internal/serve records request
+// latencies into it and the obs Registry renders it in Prometheus
+// histogram exposition format (prom.go).
 const (
 	subBits   = 3
 	subCount  = 1 << subBits
 	histSlots = (64 - subBits) * subCount
 )
 
-type hist struct {
+// Histogram records int64 samples (conventionally nanoseconds; Record
+// takes a time.Duration directly).
+type Histogram struct {
 	buckets [histSlots]atomic.Int64
 	count   atomic.Int64
 	sum     atomic.Int64
@@ -49,9 +55,11 @@ func bucketUpper(idx int) int64 {
 	return (subCount+sub+1)<<shift - 1
 }
 
-// record adds one duration sample.
-func (h *hist) record(d time.Duration) {
-	v := int64(d)
+// Record adds one duration sample.
+func (h *Histogram) Record(d time.Duration) { h.RecordValue(int64(d)) }
+
+// RecordValue adds one raw sample; negative values clamp to zero.
+func (h *Histogram) RecordValue(v int64) {
 	if v < 0 {
 		v = 0
 	}
@@ -66,11 +74,20 @@ func (h *hist) record(d time.Duration) {
 	}
 }
 
-// quantile returns the upper bound of the bucket containing the q-th
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all recorded samples.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Max returns the exact maximum recorded sample.
+func (h *Histogram) Max() int64 { return h.max.Load() }
+
+// Quantile returns the upper bound of the bucket containing the q-th
 // sample (0 < q ≤ 1), clamped to the exact observed max so the
 // pessimistic bucket bound never overshoots it; 0 for an empty
 // histogram.
-func (h *hist) quantile(q float64) int64 {
+func (h *Histogram) Quantile(q float64) int64 {
 	total := h.count.Load()
 	if total == 0 {
 		return 0
@@ -95,7 +112,8 @@ func (h *hist) quantile(q float64) int64 {
 
 // LatencyStats is the serialized summary of one histogram. All values
 // are nanoseconds; quantiles are upper bucket bounds (pessimistic to
-// ≈6%), Max and Mean are exact.
+// ≈6%) clamped to the exact max, so P50 ≤ P90 ≤ P99 ≤ P999 ≤ Max
+// always holds; Max and Mean are exact.
 type LatencyStats struct {
 	Count int64 `json:"count"`
 	P50   int64 `json:"p50_ns"`
@@ -106,15 +124,15 @@ type LatencyStats struct {
 	Mean  int64 `json:"mean_ns"`
 }
 
-// summary extracts the report form of the histogram.
-func (h *hist) summary() LatencyStats {
+// Summary extracts the report form of the histogram.
+func (h *Histogram) Summary() LatencyStats {
 	n := h.count.Load()
 	s := LatencyStats{
 		Count: n,
-		P50:   h.quantile(0.50),
-		P90:   h.quantile(0.90),
-		P99:   h.quantile(0.99),
-		P999:  h.quantile(0.999),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
 		Max:   h.max.Load(),
 	}
 	if n > 0 {

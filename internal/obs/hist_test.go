@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHistBuckets checks the bucket mapping exactly: uppers strictly
+// increase, bucketOf(bucketUpper(i)) == i, and consecutive buckets
+// tile the int64 range with no gaps; spot values respect the relative
+// error bound.
+func TestHistBuckets(t *testing.T) {
+	prevUpper := int64(-1)
+	for idx := 0; idx < histSlots; idx++ {
+		up := bucketUpper(idx)
+		if up <= prevUpper {
+			t.Fatalf("bucketUpper(%d) = %d, not above previous %d", idx, up, prevUpper)
+		}
+		if got := bucketOf(up); got != idx {
+			t.Fatalf("bucketOf(bucketUpper(%d)=%d) = %d", idx, up, got)
+		}
+		// The first value of this bucket is one past the previous
+		// bucket's upper bound — no gaps.
+		if got := bucketOf(prevUpper + 1); got != idx {
+			t.Fatalf("bucketOf(%d) = %d, want %d", prevUpper+1, got, idx)
+		}
+		prevUpper = up
+		if up > int64(1)<<62 {
+			break
+		}
+	}
+	for _, v := range []int64{0, 1, 7, 8, 9, 100, 12345, 1e9, 1e15} {
+		idx := bucketOf(v)
+		up := bucketUpper(idx)
+		if up < v {
+			t.Fatalf("value %d mapped to bucket %d with upper %d < value", v, idx, up)
+		}
+		if v >= subCount && float64(up-v) > float64(v)/subCount {
+			t.Fatalf("value %d bucket upper %d exceeds relative error bound", v, up)
+		}
+	}
+}
+
+// TestHistQuantiles feeds a known distribution and checks the
+// quantiles against exact order statistics (within bucket error).
+func TestHistQuantiles(t *testing.T) {
+	var h Histogram
+	// 1000 samples: i microseconds for i in [1,1000].
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	s := h.Summary()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	check := func(name string, got, exact int64) {
+		t.Helper()
+		if got < exact || float64(got-exact) > float64(exact)/subCount+1 {
+			t.Errorf("%s = %d, want within bucket error above %d", name, got, exact)
+		}
+	}
+	check("p50", s.P50, 500*1000)
+	check("p90", s.P90, 900*1000)
+	check("p99", s.P99, 990*1000)
+	check("p999", s.P999, 999*1000)
+	if s.Max != 1000*1000 {
+		t.Errorf("max = %d, want exact 1000000", s.Max)
+	}
+	if want := int64(500500) * 1000 / 1000; s.Mean != want {
+		t.Errorf("mean = %d, want %d", s.Mean, want)
+	}
+}
+
+// TestHistQuantileClamp: with one sample, every quantile is the exact
+// max, never the (pessimistic) bucket upper bound.
+func TestHistQuantileClamp(t *testing.T) {
+	var h Histogram
+	h.RecordValue(12345)
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999, 1.0} {
+		if got := h.Quantile(q); got != 12345 {
+			t.Fatalf("Quantile(%v) = %d, want exact max 12345", q, got)
+		}
+	}
+	s := h.Summary()
+	if s.P50 != s.Max || s.P999 != s.Max {
+		t.Fatalf("summary quantiles not clamped to max: %+v", s)
+	}
+}
+
+// TestHistNegativeClamp: negative samples clamp to zero rather than
+// indexing out of range.
+func TestHistNegativeClamp(t *testing.T) {
+	var h Histogram
+	h.RecordValue(-5)
+	if h.Count() != 1 || h.Sum() != 0 || h.Max() != 0 {
+		t.Fatalf("count=%d sum=%d max=%d after negative record", h.Count(), h.Sum(), h.Max())
+	}
+}

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format (version 0.0.4): families sorted by name,
+// each preceded by its # HELP / # TYPE comments, series sorted by
+// label set.
+//
+// Histograms follow the Prometheus convention for duration metrics:
+// recorded nanosecond samples are rendered with bucket bounds and
+// sums in seconds, cumulative bucket counts, a trailing +Inf bucket,
+// and _sum/_count rows. Zero-count buckets are elided (cumulative
+// counts stay monotone without them) so a ~500-slot histogram renders
+// in proportion to its occupancy, not its resolution.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	for _, f := range r.snapshotFamilies() {
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.rows {
+			switch {
+			case s.hist != nil:
+				writeHistogram(&b, f.name, s)
+			case s.counter != nil:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labels, formatValue(float64(s.counter.Value())))
+			default:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labels, formatValue(s.fn()))
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistogram renders one histogram series. The bucket loop reads
+// each slot once; recording may proceed concurrently, so the +Inf
+// count is the cumulative total actually swept (not a separately
+// loaded count that in-flight samples could desynchronize from
+// the buckets).
+func writeHistogram(b *strings.Builder, name string, s *series) {
+	h := s.hist
+	var cum int64
+	for i := 0; i < histSlots; i++ {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		cum += n
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name,
+			withLabel(s.labels, "le", formatValue(float64(bucketUpper(i))/1e9)), cum)
+	}
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, withLabel(s.labels, "le", "+Inf"), cum)
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, s.labels, formatValue(float64(h.Sum())/1e9))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, s.labels, cum)
+}
+
+// withLabel splices one extra label pair into a rendered label
+// suffix.
+func withLabel(labels, name, value string) string {
+	pair := name + `="` + escapeLabelValue(value) + `"`
+	if labels == "" {
+		return "{" + pair + "}"
+	}
+	return labels[:len(labels)-1] + "," + pair + "}"
+}
+
+// formatValue renders a sample value the way Prometheus expects:
+// shortest float representation, integral values without an
+// exponent where possible.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// Handler returns an http.Handler serving the registry as
+// text/plain exposition — the GET /metrics endpoint of every driver.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

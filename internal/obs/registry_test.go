@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCounterSharding: concurrent per-shard writers lose no
+// increments and Value sums all shards.
+func TestCounterSharding(t *testing.T) {
+	c := NewCounter()
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.AddShard(w, 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	c.Inc()
+	c.Add(2)
+	if got := c.Value(); got != workers*per+3 {
+		t.Fatalf("Value() = %d, want %d", got, workers*per+3)
+	}
+	// Shard indices beyond the shard count wrap instead of panicking.
+	c.AddShard(counterShards+5, 1)
+	if got := c.Value(); got != workers*per+4 {
+		t.Fatalf("Value() after wrapped shard = %d", got)
+	}
+}
+
+// TestPrometheusRendering registers one of each metric kind and
+// checks the exposition output: HELP/TYPE comments, sorted families,
+// label escaping, histogram bucket/sum/count rows with monotone
+// cumulative counts.
+func TestPrometheusRendering(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("bots_test_events_total", "Test events.", Label{"kind", `qu"ote`})
+	c.Add(7)
+	r.GaugeFunc("bots_test_depth", "Test gauge.", func() float64 { return 3.5 })
+	r.CounterFunc("bots_test_sampled_total", "Sampled counter.", func() float64 { return 11 })
+	h := r.Histogram("bots_test_latency_seconds", "Test latency.")
+	h.Record(1 * time.Millisecond)
+	h.Record(2 * time.Millisecond)
+	h.Record(1 * time.Second)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# HELP bots_test_events_total Test events.\n",
+		"# TYPE bots_test_events_total counter\n",
+		"bots_test_events_total{kind=\"qu\\\"ote\"} 7\n",
+		"# TYPE bots_test_depth gauge\n",
+		"bots_test_depth 3.5\n",
+		"bots_test_sampled_total 11\n",
+		"# TYPE bots_test_latency_seconds histogram\n",
+		`bots_test_latency_seconds_bucket{le="+Inf"} 3`,
+		"bots_test_latency_seconds_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+
+	// Families render sorted by name.
+	iDepth := strings.Index(out, "# HELP bots_test_depth")
+	iEvents := strings.Index(out, "# HELP bots_test_events_total")
+	iLatency := strings.Index(out, "# HELP bots_test_latency_seconds")
+	if !(iDepth < iEvents && iEvents < iLatency) {
+		t.Errorf("families not sorted: depth@%d events@%d latency@%d", iDepth, iEvents, iLatency)
+	}
+
+	// Histogram bucket counts are cumulative and monotone, and the
+	// +Inf bucket equals _count.
+	var prev int64 = -1
+	var buckets int
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "bots_test_latency_seconds_bucket") {
+			continue
+		}
+		buckets++
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("bad bucket line %q", line)
+		}
+		n, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			t.Fatalf("bad bucket count in %q: %v", line, err)
+		}
+		if n < prev {
+			t.Fatalf("bucket counts not monotone at %q", line)
+		}
+		prev = n
+	}
+	if buckets != 4 { // three distinct sample buckets + +Inf
+		t.Errorf("bucket rows = %d, want 4 (zero buckets elided)", buckets)
+	}
+	if prev != 3 {
+		t.Errorf("final (+Inf) bucket = %d, want 3", prev)
+	}
+}
+
+// TestRegistryPanics: the registration vocabulary is validated.
+func TestRegistryPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	r.Counter("bots_ok_total", "ok")
+	mustPanic("bad name", func() { r.Counter("9bad", "x") })
+	mustPanic("kind collision", func() { r.GaugeFunc("bots_ok_total", "x", func() float64 { return 0 }) })
+	mustPanic("duplicate series", func() { r.Counter("bots_ok_total", "ok") })
+	mustPanic("bad label name", func() { r.Counter("bots_lbl_total", "x", Label{"bad-name", "v"}) })
+}
+
+// TestHandlerContentType: the /metrics handler declares the 0.0.4
+// text exposition content type.
+func TestHandlerContentType(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("bots_x_total", "x").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "bots_x_total 1") {
+		t.Fatalf("body = %q", rec.Body.String())
+	}
+}

@@ -3,6 +3,8 @@ package omp
 import (
 	"fmt"
 	"reflect"
+
+	"bots/internal/obs"
 )
 
 // This file implements OpenMP 4.0-style task dependences: the In,
@@ -249,6 +251,9 @@ func (w *worker) enqueueReleased(t *task) {
 // come take it. Owner-side only (w must be the calling worker).
 func (w *worker) enqueue(t *task) {
 	w.team.sched.Push(w.id, t)
+	if fr := w.team.fr; fr != nil {
+		fr.Record(w.id, obs.EvSpawn, int64(t.depth))
+	}
 	w.team.ring()
 }
 

@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"bots/internal/obs"
 )
 
 // PersistentTeam is a long-lived worker team that executes submitted
@@ -63,6 +65,15 @@ type PersistentTeam struct {
 	// subPool recycles Submission structs so a steady-state submit is
 	// allocation-free (the perf suite gates this).
 	subPool sync.Pool
+
+	// obsMu fences observability sampling (obs.go) against Close:
+	// Queued reaches into scheduler state that shutdown releases, so
+	// the sampling accessors hold the read side and Close holds the
+	// write side around shutdown, after which finalized makes every
+	// accessor return zero. Scrape handlers registered via RegisterObs
+	// may therefore safely outlive the team.
+	obsMu     sync.RWMutex
+	finalized bool
 }
 
 // Submission is the handle to one submitted task region. Handles from
@@ -180,7 +191,10 @@ func (pt *PersistentTeam) Close() *Stats {
 	}
 	pt.tm.ringAll() // wake parked workers to observe closed
 	pt.wg.Wait()
+	pt.obsMu.Lock()
 	st := pt.tm.shutdown(pt.implicit)
+	pt.finalized = true
+	pt.obsMu.Unlock()
 	if pt.tm.panicVal != nil {
 		panic(pt.tm.panicVal)
 	}
@@ -228,7 +242,12 @@ func (pt *PersistentTeam) enqueueSub(s *Submission) {
 	}
 	pt.inboxTail = s
 	pt.inboxMu.Unlock()
-	pt.inboxLen.Add(1)
+	n := pt.inboxLen.Add(1)
+	if fr := pt.tm.fr; fr != nil {
+		// Submitters are not team workers: the event lands on the
+		// recorder's external ring, carrying the inbox depth.
+		fr.Record(-1, obs.EvSubmit, n)
+	}
 	pt.tm.ring()
 }
 
@@ -353,6 +372,9 @@ func (pt *PersistentTeam) serveWorker(w *worker, it *task) {
 		// Park until a submission, an enqueue, or Close rings.
 		// Register first, then re-check every wake source, so no
 		// concurrent ring can be missed (same protocol as barrier).
+		// Token wakes are absorption-safe here: once closed is set no
+		// worker re-parks (the re-check above sees it), so Close's
+		// ringAll tokens cannot be drained away from a parked peer.
 		tm.idleWaiters.Add(1)
 		if pt.inboxLen.Load() > 0 || w.runOne(nil) || pt.closed.Load() {
 			tm.idleWaiters.Add(-1)
@@ -360,7 +382,7 @@ func (pt *PersistentTeam) serveWorker(w *worker, it *task) {
 			continue
 		}
 		w.stats.idleParks.Add(1)
-		<-tm.doorbell
+		tm.parkOnDoorbell(w, nil)
 		tm.idleWaiters.Add(-1)
 		idle = 0
 	}

@@ -3,6 +3,7 @@ package omp
 import (
 	"sync/atomic"
 
+	"bots/internal/obs"
 	"bots/internal/trace"
 )
 
@@ -165,6 +166,9 @@ func (t *task) isDescendantOf(anc *task) bool {
 // TestLiveTasksReturnToZero pins this invariant; recycling depends on
 // it (a double decrement would also double-recycle a task).
 func (t *task) finish(w *worker) {
+	if fr := t.team.fr; fr != nil {
+		fr.Record(w.id, obs.EvFinish, int64(t.depth))
+	}
 	t.releaseSuccessors(w)
 	if t.depTab != nil {
 		recycleDepTab(t.depTab)

@@ -4,7 +4,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"bots/internal/obs"
 	"bots/internal/trace"
 )
 
@@ -21,39 +23,59 @@ type Team struct {
 	// straight to the park instead of sweeping P queue tops.
 	adv workAdvertiser
 	rec *trace.Recorder
+	// fr, when non-nil, receives spawn/steal/park/wake/submit/finish
+	// events (WithFlightRecorder). Every event site nil-checks it, so
+	// the default configuration pays one predictable branch.
+	fr *obs.FlightRecorder
 
 	// liveTasks counts deferred tasks created and not yet finished;
 	// barriers wait for it to reach zero.
 	liveTasks atomic.Int64
 
-	// Barrier state (sense-reversing, task-executing).
+	// Barrier state (sense-reversing, task-executing). barBells holds
+	// one completion bell per barrier-generation parity: workers parked
+	// at generation g block on barBells[g&1], and the completing worker
+	// closes it — a closed-channel broadcast wakes *every* parker of
+	// that generation and cannot be absorbed, unlike doorbell tokens,
+	// which workers that already advanced to generation g+1 can drain
+	// through their own spin→park cycles before a still-parked
+	// generation-g worker is handed one (a real lost-wakeup observed as
+	// one worker asleep at a completed barrier while the rest park at
+	// the next). The slot for g+1 is re-armed by the completer of g
+	// *before* barGen advances, so a generation-g+1 parker — which
+	// loads its bell only after observing barGen == g+1 — always finds
+	// a fresh channel; the slot being recycled belonged to g-1, whose
+	// parkers all left (completing g required their arrival).
 	barGen     atomic.Int64
 	barArrived atomic.Int64
+	barBells   [2]chan struct{}
 
 	// Doorbell for the bounded-spin→park idle protocol: workers that
-	// exhaust their spin budget at a barrier register in idleWaiters
-	// and block on the doorbell channel; every task enqueue and every
-	// barrier completion rings it. The channel's capacity is the team
-	// size, so a non-blocking send can never lose a wake while any
-	// worker still needs one (≤ n-1 parkers ⇒ a full buffer already
-	// holds a token for each). See barrier for the lost-wakeup
-	// argument.
+	// exhaust their spin budget register in idleWaiters and block on
+	// the doorbell channel; every task enqueue and every submission
+	// rings it. The channel's capacity is the team size, so a
+	// non-blocking send can never lose a wake while any worker still
+	// needs one (≤ n-1 parkers ⇒ a full buffer already holds a token
+	// for each). Barrier completion broadcasts via barBells above, not
+	// doorbell tokens. See barrier for the lost-wakeup argument.
 	idleWaiters atomic.Int32
 	doorbell    chan struct{}
 
 	// waitBell is the futex-style park word for condition waiters —
 	// taskwait, Future.Wait and Taskgroup drains. A waiter registers
-	// in waitParkers, re-checks its condition, and blocks on the
-	// channel; every completion event that can satisfy a waiter
-	// (a subtree's last child finishing, a future completing, a
-	// taskgroup emptying, a dependence release) broadcasts via
-	// wakeWaiters. Broadcasts are recipient-agnostic — every parked
-	// waiter re-checks its own condition — which is what lets one
-	// shared word replace the old per-task mutex + lazily-allocated
-	// wake channel without misdirected-token deadlocks. See wakeWaiters
-	// for the lost-wakeup argument.
+	// in waitParkers, loads the current bell, re-checks its condition,
+	// and blocks on the bell; every completion event that can satisfy
+	// a waiter (a subtree's last child finishing, a future completing,
+	// a taskgroup emptying, a dependence release) broadcasts via
+	// wakeWaiters, which swaps in a fresh bell and closes the old one.
+	// Broadcasts are recipient-agnostic — every parked waiter re-checks
+	// its own condition — which is what lets one shared word replace
+	// the old per-task mutex + lazily-allocated wake channel without
+	// misdirected-token deadlocks; the close-based broadcast (rather
+	// than depositing tokens) is what makes it absorption-proof. See
+	// wakeWaiters for the lost-wakeup argument.
 	waitParkers atomic.Int32
-	waitBell    chan struct{}
+	waitBell    atomic.Pointer[chan struct{}]
 
 	// Worksharing bookkeeping: per-construct-instance state, keyed by
 	// each thread's private construct counter (all threads encounter
@@ -76,6 +98,7 @@ type teamConfig struct {
 	cutoff CutoffPolicy
 	sched  Scheduler
 	rec    *trace.Recorder
+	fr     *obs.FlightRecorder
 }
 
 // WithCutoff installs a runtime cut-off policy (default NoCutoff).
@@ -200,12 +223,16 @@ func newTeam(n int, opts []TeamOpt) (*Team, []*task) {
 		cutoff:    cfg.cutoff,
 		sched:     cfg.sched,
 		rec:       cfg.rec,
+		fr:        cfg.fr,
 		doorbell:  make(chan struct{}, n),
-		waitBell:  make(chan struct{}, n),
 		wsSingles: make(map[int64]bool),
 		wsLoops:   make(map[int64]*loopState),
 		wsReduces: make(map[int64]bool),
 	}
+	tm.barBells[0] = make(chan struct{})
+	tm.barBells[1] = make(chan struct{})
+	wb := make(chan struct{})
+	tm.waitBell.Store(&wb)
 	tm.adv, _ = cfg.sched.(workAdvertiser)
 	tm.sched.Init(n)
 	tm.workers = make([]*worker, n)
@@ -263,19 +290,23 @@ const barrierSpinRounds = 32
 //
 // Idle protocol (bounded spin → park): after barrierSpinRounds empty
 // probes the worker registers in idleWaiters, re-probes once, and
-// blocks on the doorbell. The re-probe after registration is what
-// makes the park lose no wakeups: an enqueuer writes its queue before
-// loading idleWaiters, and a parker increments idleWaiters before
-// reading the queues — both through sequentially-consistent atomics —
-// so either the parker's re-probe sees the task or the enqueuer sees
-// the registration and rings. Barrier completion rings once per
-// worker, so the last arrival also releases every parked peer.
-// Spurious tokens (from wakes that found nothing) are bounded by the
-// channel capacity and simply cause one extra probe round.
+// blocks on the doorbell and this generation's barrier bell. The
+// re-probe after registration is what makes the park lose no wakeups:
+// an enqueuer writes its queue before loading idleWaiters, and a
+// parker increments idleWaiters before reading the queues — both
+// through sequentially-consistent atomics — so either the parker's
+// re-probe sees the task or the enqueuer sees the registration and
+// rings. Barrier completion closes the generation's bell, which
+// releases every parked peer at once; a closed channel cannot be
+// drained by workers that already advanced to the next generation,
+// which is why completion does not use doorbell tokens (a bounded
+// token supply can be absorbed by the next generation's own spin→park
+// cycles, starving a still-parked worker of the old one).
 func (tm *Team) barrier(w *worker) {
 	w.stats.barriers.Add(1)
 	n := int64(len(tm.workers))
 	gen := tm.barGen.Load()
+	bell := tm.barBells[gen&1]
 	tm.barArrived.Add(1)
 	idle := 0
 	for tm.barGen.Load() == gen {
@@ -285,8 +316,14 @@ func (tm *Team) barrier(w *worker) {
 		}
 		if tm.barArrived.Load() == n && tm.liveTasks.Load() == 0 {
 			if tm.barArrived.CompareAndSwap(n, 0) {
+				// Re-arm the next generation's bell before publishing the
+				// generation change: a worker parks on barBells[g&1] only
+				// after loading barGen == g, so it can never observe the
+				// slot mid-recycle. Closing the current bell then wakes
+				// every generation-gen parker, no matter how many.
+				tm.barBells[(gen+1)&1] = make(chan struct{})
 				tm.barGen.Add(1)
-				tm.ringAll()
+				close(bell)
 			}
 			continue
 		}
@@ -297,10 +334,10 @@ func (tm *Team) barrier(w *worker) {
 			}
 			continue
 		}
-		// Spin budget exhausted: park until an enqueue or the barrier
-		// completion rings. Register first, then re-check every wake
-		// condition (runnable task, completable or completed barrier)
-		// so no concurrent ring can be missed.
+		// Spin budget exhausted: park until an enqueue rings or the
+		// barrier completion closes the bell. Register first, then
+		// re-check every wake condition (runnable task, completable or
+		// completed barrier) so no concurrent wake can be missed.
 		tm.idleWaiters.Add(1)
 		if w.runOne(nil) || tm.barGen.Load() != gen ||
 			(tm.barArrived.Load() == n && tm.liveTasks.Load() == 0) {
@@ -309,10 +346,34 @@ func (tm *Team) barrier(w *worker) {
 			continue
 		}
 		w.stats.idleParks.Add(1) // counted only when the worker truly blocks
-		<-tm.doorbell
+		tm.parkOnDoorbell(w, bell)
 		tm.idleWaiters.Add(-1)
 		idle = 0
 	}
+}
+
+// parkOnDoorbell blocks w until a doorbell token arrives (task
+// enqueue, submission, shutdown) or bell is closed (barrier
+// completion broadcast; pass nil when no barrier bell applies, e.g.
+// the persistent team's serve loop). Wrapped in flight-recorder
+// park/wake events when a recorder is attached (park carries the
+// live-task count, wake the park duration in ns).
+func (tm *Team) parkOnDoorbell(w *worker, bell chan struct{}) {
+	fr := tm.fr
+	if fr == nil {
+		select {
+		case <-tm.doorbell:
+		case <-bell:
+		}
+		return
+	}
+	fr.Record(w.id, obs.EvPark, tm.liveTasks.Load())
+	t0 := time.Now()
+	select {
+	case <-tm.doorbell:
+	case <-bell:
+	}
+	fr.Record(w.id, obs.EvWake, int64(time.Since(t0)))
 }
 
 // ring wakes one parked worker, if any. Called after every task
@@ -328,7 +389,12 @@ func (tm *Team) ring() {
 	}
 }
 
-// ringAll wakes every parked worker (barrier completion).
+// ringAll deposits one doorbell token per worker — a bounded one-shot
+// wake used by persistent-team shutdown (workers re-check `closed`
+// and exit, never re-park) and by tests. Barrier completion does NOT
+// use it: its tokens can be absorbed by workers spinning through
+// later park cycles, so barriers broadcast by closing barBells
+// instead (see barrier).
 func (tm *Team) ringAll() {
 	for range tm.workers {
 		select {
@@ -345,40 +411,44 @@ func (tm *Team) ringAll() {
 // mutex + channel behind it.
 //
 // No-lost-wakeup argument (all atomics are sequentially consistent):
-// a waiter increments waitParkers, then re-checks its wait condition,
-// then blocks; a completer changes the waited-on state, then loads
-// waitParkers. If the waiter's re-check missed the state change, the
-// change — and therefore the completer's waitParkers load — is
-// ordered after the waiter's increment, so the completer observes the
-// registration and broadcasts. The broadcast fills the bell to the
-// team size with non-blocking sends: a full buffer already holds a
-// token for every possible parker, and the Go runtime hands tokens to
-// already-blocked receivers first, so every waiter parked at
-// broadcast time wakes and re-checks. Stale tokens only cause one
-// extra re-check round on a later park.
+// a waiter increments waitParkers, loads the current bell, re-checks
+// its wait condition, then blocks on the loaded bell; a completer
+// changes the waited-on state, then loads waitParkers. If the
+// waiter's re-check missed the state change, the change — and
+// therefore the completer's waitParkers load — is ordered after the
+// waiter's increment, so the completer observes the registration and
+// broadcasts by swapping in a fresh bell and closing the one it
+// replaced. The waiter loaded its bell *before* the re-check, so the
+// bell it blocks on is the swapped-out one (or an even older one,
+// already closed): the close reaches it. Closing — rather than
+// depositing tokens — makes the broadcast absorption-proof: no
+// sequence of other waiters' park/re-check cycles can consume it.
+// The fresh channel is allocated only when a parker is registered, so
+// the common completion path stays allocation-free.
 func (tm *Team) wakeWaiters() {
 	if tm.waitParkers.Load() == 0 {
 		return
 	}
-	for range tm.workers {
-		select {
-		case tm.waitBell <- struct{}{}:
-		default:
-		}
-	}
+	fresh := make(chan struct{})
+	old := tm.waitBell.Swap(&fresh)
+	close(*old)
 }
 
 // waitPark blocks the calling worker until the next completion
 // broadcast, unless cond() already holds after registration. Callers
 // loop around it re-checking their own condition: a wake proves only
-// that *some* completion happened.
+// that *some* completion happened. The bell load MUST precede the
+// cond() re-check — loading after would let a completer swap and
+// close the old bell between the (failed) re-check and the load,
+// leaving the waiter parked on a bell nobody will ever close.
 func (tm *Team) waitPark(cond func() bool) {
 	tm.waitParkers.Add(1)
+	bell := tm.waitBell.Load()
 	if cond() {
 		tm.waitParkers.Add(-1)
 		return
 	}
-	<-tm.waitBell
+	<-*bell
 	tm.waitParkers.Add(-1)
 }
 
@@ -416,6 +486,8 @@ func (w *worker) runOne(constraint *task) bool {
 			t = sched.Steal(w.id, pred)
 			if t == nil {
 				w.stats.stealFails.Add(1)
+			} else if fr := w.team.fr; fr != nil {
+				fr.Record(w.id, obs.EvSteal, int64(t.depth))
 			}
 		}
 	}

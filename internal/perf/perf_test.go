@@ -245,6 +245,8 @@ func TestQuickSuiteSmoke(t *testing.T) {
 		"scaling/fib/speedup", "scaling/fib/efficiency",
 		"scaling/nqueens/efficiency", "scaling/sort/efficiency",
 		"scaling/strassen/efficiency", "scaling/sparselu/efficiency",
+		"serve/submit-allocs", "serve/shed-rate",
+		"obs/record-allocs", "obs/fib-overhead",
 	} {
 		if _, ok := rep.Metric(want); !ok {
 			t.Errorf("suite report lacks %s", want)

@@ -118,6 +118,10 @@ func Run(o Options) (*Report, error) {
 	}
 	rep.Metrics = append(rep.Metrics, svc...)
 
+	// Observability layer: record-path allocations (gated at ~0) and
+	// the informational flight-recorder fib tax. See obsmetrics.go.
+	rep.Metrics = append(rep.Metrics, obsMetrics(o)...)
+
 	if err := rep.Validate(); err != nil {
 		return nil, fmt.Errorf("perf: suite produced an invalid report: %w", err)
 	}

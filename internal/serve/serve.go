@@ -23,8 +23,15 @@ import (
 
 	"bots/internal/core"
 	"bots/internal/inputs"
+	"bots/internal/obs"
 	"bots/internal/omp"
 )
+
+// LatencyStats is the serialized latency summary; it is the shared
+// obs.LatencyStats (the histogram itself moved to internal/obs in the
+// observability PR), aliased so the report schema and its consumers
+// are unchanged.
+type LatencyStats = obs.LatencyStats
 
 // Schema identifies the serve-report JSON layout.
 const Schema = "bots-serve/v1"
@@ -54,6 +61,26 @@ type Config struct {
 	BurstFactor float64 // bursty: rate multiplier/divisor (<=1 = 4)
 	// BurstDwell is the mean dwell time per MMPP state (0 = 100ms).
 	BurstDwell time.Duration
+
+	// Obs, when non-nil, receives the run's live metrics: request
+	// counters and latency histograms under bots_serve_*, plus the
+	// team's bots_team_* gauges/counters (see DESIGN.md §11). The
+	// registered closures read state owned by this run, so use a fresh
+	// registry per run (a reused one panics on duplicate series).
+	Obs *obs.Registry
+	// FlightRecorderCap, when > 0, attaches a flight recorder keeping
+	// that many events per worker.
+	FlightRecorderCap int
+	// OnRecorder, when non-nil, is called once at run start with the
+	// attached flight recorder (only when FlightRecorderCap > 0), so a
+	// driver can expose on-demand dumps while the run is live.
+	OnRecorder func(*obs.FlightRecorder)
+	// StallThreshold, when > 0 (and a flight recorder is attached),
+	// arms the stall detector: OnStall fires with the recorder when
+	// live tasks sit unclaimed with every worker parked beyond the
+	// threshold.
+	StallThreshold time.Duration
+	OnStall        func(*obs.FlightRecorder)
 }
 
 // Report is the serialized outcome of one service run.
@@ -170,16 +197,34 @@ func Run(cfg Config) (*Report, error) {
 		return nil, err
 	}
 
-	pt := omp.NewPersistentTeam(cfg.Workers, omp.WithScheduler(cfg.Scheduler))
+	opts := []omp.TeamOpt{omp.WithScheduler(cfg.Scheduler)}
+	var fr *obs.FlightRecorder
+	if cfg.FlightRecorderCap > 0 {
+		fr = obs.NewFlightRecorder(cfg.Workers, cfg.FlightRecorderCap)
+		opts = append(opts, omp.WithFlightRecorder(fr))
+		if cfg.OnRecorder != nil {
+			cfg.OnRecorder(fr)
+		}
+	}
+	pt := omp.NewPersistentTeam(cfg.Workers, opts...)
 	startStats := pt.Stats()
 
 	var (
-		qHist, sHist, tHist hist
+		qHist, sHist, tHist obs.Histogram
 		inflight            atomic.Int64
 		completed           atomic.Int64
 		verifyFails         atomic.Int64
-		submitted, shed     int64
+		submitted, shed     atomic.Int64
 	)
+	if reg := cfg.Obs; reg != nil {
+		registerServeObs(reg, pt, &qHist, &sHist, &tHist,
+			&submitted, &shed, &completed, &verifyFails, &inflight)
+	}
+	if fr != nil && cfg.StallThreshold > 0 && cfg.OnStall != nil {
+		onStall, rec := cfg.OnStall, fr
+		stop := pt.StartStallMonitor(cfg.StallThreshold, 0, func() { onStall(rec) })
+		defer stop()
+	}
 
 	gen := newArrivals(cfg)
 	begin := time.Now()
@@ -188,7 +233,7 @@ func Run(cfg Config) (*Report, error) {
 
 	for {
 		if cfg.Requests > 0 {
-			if submitted+shed >= int64(cfg.Requests) {
+			if submitted.Load()+shed.Load() >= int64(cfg.Requests) {
 				break
 			}
 		} else if !next.Before(deadline) {
@@ -201,10 +246,10 @@ func Run(cfg Config) (*Report, error) {
 			time.Sleep(d)
 		}
 		if inflight.Load() >= int64(cfg.MaxInflight) {
-			shed++
+			shed.Add(1)
 		} else {
 			inflight.Add(1)
-			submitted++
+			submitted.Add(1)
 			r := requestPool.Get().(*request)
 			r.enq = next
 			body, verify := prep.NewRequest()
@@ -219,9 +264,9 @@ func Run(cfg Config) (*Report, error) {
 				}
 			}, func() {
 				end := time.Now()
-				qHist.record(r.start.Sub(r.enq))
-				sHist.record(end.Sub(r.start))
-				tHist.record(end.Sub(r.enq))
+				qHist.Record(r.start.Sub(r.enq))
+				sHist.Record(end.Sub(r.start))
+				tHist.Record(end.Sub(r.enq))
 				requestPool.Put(r)
 				completed.Add(1)
 				inflight.Add(-1)
@@ -247,22 +292,60 @@ func Run(cfg Config) (*Report, error) {
 		Cutoff:         cfg.Cutoff,
 		RateHz:         cfg.Rate,
 		ElapsedNS:      int64(elapsed),
-		Submitted:      submitted,
-		Shed:           shed,
+		Submitted:      submitted.Load(),
+		Shed:           shed.Load(),
 		Completed:      completed.Load(),
 		VerifyFailures: verifyFails.Load(),
-		Queueing:       qHist.summary(),
-		Service:        sHist.summary(),
-		Total:          tHist.summary(),
+		Queueing:       qHist.Summary(),
+		Service:        sHist.Summary(),
+		Total:          tHist.Summary(),
 		Runtime:        endStats.Sub(startStats),
 	}
 	if genElapsed > 0 {
-		rep.OfferedHz = float64(submitted+shed) / genElapsed.Seconds()
+		rep.OfferedHz = float64(rep.Submitted+rep.Shed) / genElapsed.Seconds()
 	}
 	if elapsed > 0 {
 		rep.ThroughputHz = float64(rep.Completed) / elapsed.Seconds()
 	}
 	return rep, nil
+}
+
+// registerServeObs publishes one run's request-side metrics: sampled
+// counters over the run's atomics, the three latency histograms, and
+// scrape-time quantile gauges of the total (scheduled-arrival →
+// completion) latency. The quantile gauges inherit the histogram's
+// max-clamping, so p50 ≤ p90 ≤ p99 ≤ p999 at every scrape — CI's
+// service-smoke job asserts that from the /metrics side.
+func registerServeObs(reg *obs.Registry, pt *omp.PersistentTeam,
+	qHist, sHist, tHist *obs.Histogram,
+	submitted, shed, completed, verifyFails, inflight *atomic.Int64) {
+	reg.CounterFunc("bots_serve_requests_total", "Requests admitted to the team.",
+		func() float64 { return float64(submitted.Load()) })
+	reg.CounterFunc("bots_serve_shed_total", "Arrivals shed at the in-flight cap.",
+		func() float64 { return float64(shed.Load()) })
+	reg.CounterFunc("bots_serve_completed_total", "Requests whose task DAG completed.",
+		func() float64 { return float64(completed.Load()) })
+	reg.CounterFunc("bots_serve_verify_failures_total", "Requests whose result failed verification.",
+		func() float64 { return float64(verifyFails.Load()) })
+	reg.GaugeFunc("bots_serve_inflight", "Requests admitted and not yet completed.",
+		func() float64 { return float64(inflight.Load()) })
+	reg.RegisterHistogram("bots_serve_queueing_seconds",
+		"Scheduled arrival to root-task start (coordinated-omission-free).", qHist)
+	reg.RegisterHistogram("bots_serve_service_seconds",
+		"Root-task start to DAG completion.", sHist)
+	reg.RegisterHistogram("bots_serve_total_seconds",
+		"Scheduled arrival to DAG completion.", tHist)
+	for _, q := range []struct {
+		v float64
+		s string
+	}{{0.5, "0.5"}, {0.9, "0.9"}, {0.99, "0.99"}, {0.999, "0.999"}} {
+		q := q
+		reg.GaugeFunc("bots_serve_total_latency_seconds",
+			"Total-latency quantile sampled at scrape time (seconds).",
+			func() float64 { return float64(tHist.Quantile(q.v)) / 1e9 },
+			obs.Label{Name: "quantile", Value: q.s})
+	}
+	pt.RegisterObs(reg)
 }
 
 // arrivals draws inter-arrival gaps for the configured process.

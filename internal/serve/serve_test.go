@@ -2,78 +2,20 @@ package serve
 
 import (
 	"math"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"bots/internal/core"
+	"bots/internal/obs"
 	"bots/internal/omp"
 )
 
-// TestHistBuckets checks the slot mapping: every value lands in a
-// bucket whose upper bound is ≥ the value and within the promised
-// relative error, and slots tile the range without gaps.
-func TestHistBuckets(t *testing.T) {
-	prevUpper := int64(-1)
-	for idx := 0; idx < histSlots; idx++ {
-		up := bucketUpper(idx)
-		if up <= prevUpper {
-			t.Fatalf("bucketUpper(%d) = %d, not above previous %d", idx, up, prevUpper)
-		}
-		if got := bucketOf(up); got != idx {
-			t.Fatalf("bucketOf(bucketUpper(%d)=%d) = %d", idx, up, got)
-		}
-		// The first value of this bucket is one past the previous
-		// bucket's upper bound — no gaps.
-		if got := bucketOf(prevUpper + 1); got != idx {
-			t.Fatalf("bucketOf(%d) = %d, want %d", prevUpper+1, got, idx)
-		}
-		prevUpper = up
-		if up > int64(1)<<62 {
-			break
-		}
-	}
-	for _, v := range []int64{0, 1, 7, 8, 9, 100, 12345, 1e9, 1e15} {
-		idx := bucketOf(v)
-		up := bucketUpper(idx)
-		if up < v {
-			t.Fatalf("value %d mapped to bucket %d with upper %d < value", v, idx, up)
-		}
-		if v >= subCount && float64(up-v) > float64(v)/subCount {
-			t.Fatalf("value %d bucket upper %d exceeds relative error bound", v, up)
-		}
-	}
-}
-
-// TestHistQuantiles feeds a known distribution and checks the
-// quantiles against exact order statistics (within bucket error).
-func TestHistQuantiles(t *testing.T) {
-	var h hist
-	// 1000 samples: i microseconds for i in [1,1000].
-	for i := 1; i <= 1000; i++ {
-		h.record(time.Duration(i) * time.Microsecond)
-	}
-	s := h.summary()
-	if s.Count != 1000 {
-		t.Fatalf("count = %d", s.Count)
-	}
-	check := func(name string, got, exact int64) {
-		t.Helper()
-		if got < exact || float64(got-exact) > float64(exact)/subCount+1 {
-			t.Errorf("%s = %d, want within bucket error above %d", name, got, exact)
-		}
-	}
-	check("p50", s.P50, 500*1000)
-	check("p90", s.P90, 900*1000)
-	check("p99", s.P99, 990*1000)
-	check("p999", s.P999, 999*1000)
-	if s.Max != 1000*1000 {
-		t.Errorf("max = %d, want exact 1000000", s.Max)
-	}
-	if want := int64(500500) * 1000 / 1000; s.Mean != want {
-		t.Errorf("mean = %d, want %d", s.Mean, want)
-	}
-}
+// The histogram bucket/quantile tests moved with the histogram to
+// internal/obs (TestHistBuckets, TestHistQuantiles); this package
+// keeps only the serve-specific uses of it.
 
 // TestArrivalProcesses draws many gaps from each process and checks
 // the realized mean rate against the target.
@@ -263,12 +205,12 @@ func TestRunRejectsBadConfig(t *testing.T) {
 // request, later requests' queueing delay is charged from their
 // scheduled arrival even though they were admitted late.
 func TestQueueingFromScheduledTime(t *testing.T) {
-	var h hist
+	var h obs.Histogram
 	sched := time.Now()
 	// Simulate: request scheduled at t0, but only started 10ms later.
 	start := sched.Add(10 * time.Millisecond)
-	h.record(start.Sub(sched))
-	s := h.summary()
+	h.Record(start.Sub(sched))
+	s := h.Summary()
 	if s.Max < int64(9*time.Millisecond) {
 		t.Fatalf("queueing max %v does not reflect the stall", time.Duration(s.Max))
 	}
@@ -276,3 +218,48 @@ func TestQueueingFromScheduledTime(t *testing.T) {
 		t.Fatalf("mean = %d", s.Mean)
 	}
 }
+
+// TestRunWithObs runs with a registry (and flight recorder) attached
+// and checks the post-run scrape agrees with the report: request
+// counters match, histograms carry the completions, quantile gauges
+// render, and the team series are present.
+func TestRunWithObs(t *testing.T) {
+	reg := obs.NewRegistry()
+	rep, err := Run(Config{
+		Bench:             "health",
+		Class:             core.Test,
+		Workers:           2,
+		Rate:              2000,
+		Requests:          40,
+		Seed:              21,
+		Obs:               reg,
+		FlightRecorderCap: 256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"bots_serve_requests_total " + itoa(rep.Submitted),
+		"bots_serve_shed_total " + itoa(rep.Shed),
+		"bots_serve_completed_total " + itoa(rep.Completed),
+		"bots_serve_total_seconds_count " + itoa(rep.Completed),
+		`bots_serve_total_latency_seconds{quantile="0.5"}`,
+		`bots_serve_total_latency_seconds{quantile="0.999"}`,
+		"bots_team_workers 2",
+		"# TYPE bots_serve_queueing_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+func itoa(n int64) string { return strconv.FormatInt(n, 10) }
