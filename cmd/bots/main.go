@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -50,6 +51,8 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "run the full lab pipeline (seq reference + verify + simulate; -simulate 0 means the recording team size) and emit the machine-readable lab Record instead of text")
 		storePath = flag.String("store", "", "with -json: persist the record in (and answer cache hits from) this lab store")
 		obsDump   = flag.Bool("obs", false, "after the run, dump its runtime counters as bots_run_* Prometheus text exposition on stdout")
+		procs     = flag.Int("procs", 0, "set GOMAXPROCS for the run — the oversubscription axis (0 = runtime default; -threads greater than -procs oversubscribes)")
+		pin       = flag.Bool("pin", false, "wire each team worker to an OS thread for the run (the pinning axis)")
 	)
 	flag.Parse()
 
@@ -94,6 +97,8 @@ func main() {
 			RuntimeCutoff: *rtCutoff,
 			Policy:        *policy,
 			Simulate:      *simulate,
+			Procs:         *procs,
+			Pin:           *pin,
 		}
 		var runner lab.Runner = lab.NewDirectRunner()
 		if *storePath != "" {
@@ -118,6 +123,14 @@ func main() {
 		Threads:     *threads,
 		CutoffDepth: *cutoff,
 		Scheduler:   *policy,
+		Procs:       *procs,
+		PinWorkers:  *pin,
+	}
+	if *procs > 0 {
+		// The process exits after the run, so no restore is needed;
+		// setting it before the sequential reference keeps both sides
+		// of a -verify run under the same proc count.
+		runtime.GOMAXPROCS(*procs)
 	}
 	// Both name vocabularies resolve through the omp registries, the
 	// same single source of truth lab manifests validate against.

@@ -14,6 +14,7 @@
 //	botsbench -quick               # CI smoke sizes, gate still enforced
 //	botsbench -store bots-lab.jsonl  # also ingest metrics into the lab store
 //	botsbench -compare BENCH_0.json BENCH_1.json  # delta table, any two reports
+//	botsbench -compare                 # delta of the newest two BENCH_*.json in -out
 //
 // The process exits non-zero when a gated metric regresses more than
 // -max-regression against the baseline, so CI can run it directly.
@@ -54,8 +55,19 @@ func main() {
 
 	if *compare {
 		args := flag.Args()
-		if len(args) != 2 {
-			fmt.Fprintln(os.Stderr, "botsbench: -compare needs exactly two report files (old new)")
+		switch len(args) {
+		case 0:
+			// No operands: diff the newest two trajectory points in
+			// -out (the CI benchmark-smoke job runs exactly this after
+			// emitting its report, so every run's job summary shows
+			// what moved since the previous committed BENCH_<n>.json).
+			paths, err := perf.LatestBenchPaths(*outDir, 2)
+			fatal(err)
+			args = paths
+			fmt.Printf("botsbench: comparing %s -> %s\n", args[0], args[1])
+		case 2:
+		default:
+			fmt.Fprintln(os.Stderr, "botsbench: -compare takes two report files (old new), or none to diff the newest two BENCH_*.json in -out")
 			os.Exit(2)
 		}
 		a, err := perf.ReadReport(args[0])

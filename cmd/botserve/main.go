@@ -27,8 +27,8 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
-	"sync/atomic"
 	"strings"
+	"sync/atomic"
 	"text/tabwriter"
 	"time"
 
@@ -84,6 +84,7 @@ func main() {
 		// implicitly here) is dumpable at /debug/flightrec and dumped
 		// to stderr automatically if the stall detector fires.
 		cfg.Obs = obs.NewRegistry()
+		obs.RegisterRuntimeMetrics(cfg.Obs)
 		if cfg.FlightRecorderCap <= 0 {
 			cfg.FlightRecorderCap = 4096
 		}

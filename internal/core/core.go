@@ -81,6 +81,16 @@ type RunConfig struct {
 	Scheduler string
 	// Recorder, when non-nil, records the task graph for simulation.
 	Recorder *trace.Recorder
+	// Procs, when positive, is the GOMAXPROCS value the run wants —
+	// the oversubscription axis (Threads > Procs oversubscribes;
+	// Threads < Procs leaves cores for the rest of the process). It is
+	// process-global state, so RunConfig only records the request:
+	// the executing layer (cmd flags, lab executor) sets and restores
+	// it around the run, serializing runs that need different values.
+	Procs int
+	// PinWorkers wires each team worker to an OS thread for the run
+	// (omp.WithPinning) — the other half of the pinning axis.
+	PinWorkers bool
 }
 
 // TeamOpts assembles the omp options for this configuration.
@@ -91,6 +101,9 @@ func (cfg *RunConfig) TeamOpts() []omp.TeamOpt {
 	}
 	if cfg.Recorder != nil {
 		opts = append(opts, omp.WithRecorder(cfg.Recorder))
+	}
+	if cfg.PinWorkers {
+		opts = append(opts, omp.WithPinning(true))
 	}
 	return opts
 }

@@ -2,6 +2,7 @@ package lab
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -125,8 +126,7 @@ func (e *Executor) Execute(spec JobSpec) (*Record, error) {
 
 	rec := trace.NewRecorder()
 	e.executions.Add(1)
-	e.quiet.RLock()
-	res, err := b.Run(core.RunConfig{
+	cfg := core.RunConfig{
 		Class:         class,
 		Version:       spec.Version,
 		Threads:       spec.Threads,
@@ -134,8 +134,30 @@ func (e *Executor) Execute(spec JobSpec) (*Record, error) {
 		RuntimeCutoff: rtCutoff,
 		Scheduler:     spec.Policy,
 		Recorder:      rec,
-	})
-	e.quiet.RUnlock()
+		Procs:         spec.Procs,
+		PinWorkers:    spec.Pin,
+	}
+	var res *core.RunResult
+	if spec.Procs > 0 {
+		// GOMAXPROCS is process-global, so an oversubscription cell
+		// runs exclusively — the quiet lock already serializes timed
+		// baselines against everything else, and taking it exclusively
+		// here extends that guarantee to the altered-procs window. The
+		// value is restored before other cells may start.
+		err = func() error {
+			e.quiet.Lock()
+			defer e.quiet.Unlock()
+			old := runtime.GOMAXPROCS(spec.Procs)
+			defer runtime.GOMAXPROCS(old)
+			var rerr error
+			res, rerr = b.Run(cfg)
+			return rerr
+		}()
+	} else {
+		e.quiet.RLock()
+		res, err = b.Run(cfg)
+		e.quiet.RUnlock()
+	}
 	if err != nil {
 		return nil, fmt.Errorf("lab: running %s/%s on %d threads: %w",
 			spec.Bench, spec.Version, spec.Threads, err)

@@ -1,0 +1,140 @@
+package lab_test
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+
+	_ "bots/internal/apps/all"
+	"bots/internal/lab"
+)
+
+// TestPinningAxisExpand checks the oversubscription axes end to end
+// through manifest expansion: the procs × pin grid multiplies the
+// cell count and every cell gets a distinct canonical key.
+func TestPinningAxisExpand(t *testing.T) {
+	spec := lab.SweepSpec{
+		Benches: []string{"fib"},
+		Classes: []string{"test"},
+		Threads: []int{2, 4},
+		Procs:   []int{0, 2},
+		Pin:     []bool{false, true},
+	}
+	jobs, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * 2 * 2; len(jobs) != want {
+		t.Fatalf("expanded %d cells, want %d (threads × procs × pin)", len(jobs), want)
+	}
+	keys := map[string]lab.JobSpec{}
+	for _, j := range jobs {
+		k := j.Key()
+		if prev, dup := keys[k]; dup {
+			t.Errorf("key collision: %+v and %+v share %s", prev, j, k)
+		}
+		keys[k] = j
+	}
+}
+
+// TestPinningManifestFile keeps the committed example manifest
+// expandable (it is the doc artifact for the axis; a schema drift
+// that broke it would otherwise go unnoticed).
+func TestPinningManifestFile(t *testing.T) {
+	f, err := os.Open("../../examples/manifests/pinning-grid.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	spec, err := lab.ReadSweepSpec(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) == 0 {
+		t.Fatal("pinning-grid.json expanded to zero cells")
+	}
+}
+
+// TestKeyDistinguishesKnobs pins the no-collision contract for the
+// new execution knobs: a steal-batch override, a procs override, and
+// the pin bit each change the canonical key, while spelling variants
+// of the same configuration do not.
+func TestKeyDistinguishesKnobs(t *testing.T) {
+	base := lab.JobSpec{Bench: "fib", Version: "manual-tied", Class: "test", Threads: 4}
+	variants := []lab.JobSpec{
+		func() lab.JobSpec { j := base; j.Policy = "workfirst(8)"; return j }(),
+		func() lab.JobSpec { j := base; j.Procs = 2; return j }(),
+		func() lab.JobSpec { j := base; j.Pin = true; return j }(),
+		func() lab.JobSpec { j := base; j.Procs = 2; j.Pin = true; return j }(),
+	}
+	seen := map[string]bool{base.Key(): true}
+	for _, v := range variants {
+		if err := v.Validate(); err != nil {
+			t.Fatalf("variant %+v invalid: %v", v, err)
+		}
+		k := v.Key()
+		if seen[k] {
+			t.Errorf("variant %+v does not change the key", v)
+		}
+		seen[k] = true
+	}
+
+	// Spelling variants of one configuration normalize to one key:
+	// workfirst(32) is the default steal batch, i.e. plain workfirst.
+	same := base
+	same.Policy = "workfirst(32)"
+	if same.Key() != base.Key() {
+		t.Errorf("workfirst(32) and the default policy got different keys (%s vs %s)", same.Key(), base.Key())
+	}
+	if got := same.Normalize().Policy; got != "" {
+		t.Errorf("Normalize left policy %q, want \"\" (default)", got)
+	}
+}
+
+// TestExecutePinnedCell runs one oversubscribed, pinned cell through
+// the real executor: the record must verify, round-trip its knobs
+// through JSON, and leave the process GOMAXPROCS untouched.
+func TestExecutePinnedCell(t *testing.T) {
+	before := runtime.GOMAXPROCS(0)
+	spec := lab.JobSpec{
+		Bench: "fib", Version: "manual-tied", Class: "test",
+		Threads: 4, Procs: 2, Pin: true,
+	}
+	rec, err := lab.NewExecutor().Execute(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after := runtime.GOMAXPROCS(0); after != before {
+		t.Errorf("GOMAXPROCS not restored: %d before, %d after", before, after)
+	}
+	if !rec.Verified {
+		t.Errorf("pinned cell failed verification: %s", rec.VerifyError)
+	}
+	if rec.Spec.Procs != 2 || !rec.Spec.Pin {
+		t.Errorf("record spec lost the knobs: %+v", rec.Spec)
+	}
+
+	var sb strings.Builder
+	if err := rec.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var back lab.Record
+	if err := json.Unmarshal([]byte(sb.String()), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Spec.Procs != 2 || !back.Spec.Pin {
+		t.Errorf("knobs did not survive the JSON round-trip: %+v", back.Spec)
+	}
+	if back.Key != spec.Key() {
+		t.Errorf("record key %s does not match spec key %s", back.Key, spec.Key())
+	}
+	if back.Stats == nil || back.Stats.SchedulerSeed == 0 {
+		t.Errorf("SchedulerSeed did not round-trip (stats=%+v)", back.Stats)
+	}
+}

@@ -85,6 +85,7 @@ func (s *Server) Handler() http.Handler {
 // gauges (DESIGN.md §11): store size, sweep count, and job counts by
 // state.
 func (s *Server) registerObs(reg *obs.Registry) {
+	obs.RegisterRuntimeMetrics(reg)
 	reg.GaugeFunc("bots_lab_store_records", "Result records cached in the store.",
 		func() float64 {
 			if s.Store == nil {

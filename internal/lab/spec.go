@@ -1,7 +1,7 @@
 // Package lab is the experiment-orchestration subsystem: declarative
 // sweep manifests over the suite's configuration axes (benchmark ×
 // version × class × threads × cut-off × runtime cut-off × policy ×
-// simulated team), a bounded-worker dispatcher that runs the expanded
+// simulated team × procs × pinning), a bounded-worker dispatcher that runs the expanded
 // cells, a persistent content-addressed result store, and an HTTP
 // service that accepts sweeps and serves records and rendered report
 // figures.
@@ -65,19 +65,37 @@ type JobSpec struct {
 	Policy string `json:"policy,omitempty"`
 	// Simulate is the simulated (virtual) team size; 0 means Threads.
 	Simulate int `json:"simulate,omitempty"`
+	// Procs, when positive, is the GOMAXPROCS value for the recording
+	// run — the oversubscription axis (Threads > Procs oversubscribes
+	// workers onto fewer cores; 0 keeps the process default). Cells
+	// with Procs set run exclusively (GOMAXPROCS is process-global).
+	Procs int `json:"procs,omitempty"`
+	// Pin wires each team worker to an OS thread for the recording run
+	// (omp.WithPinning) — the pinning half of the axis.
+	Pin bool `json:"pin,omitempty"`
 	// Overheads are optional simulator cost-model overrides.
 	Overheads *SimOverrides `json:"overheads,omitempty"`
 }
 
 // Normalize returns the canonical form of the spec: defaults made
-// explicit where they change identity (Simulate), default-valued
+// explicit where they change identity (Simulate), policy names
+// re-rendered through their registries (so spelling variants of one
+// configuration — "workfirst(32)" is the default steal batch, its
+// canonical name is "workfirst" — share a key), default-valued
 // strings collapsed to "", and zero-valued override structs dropped.
+// Unresolvable names are left as written for Validate to reject.
 func (j JobSpec) Normalize() JobSpec {
 	if j.Simulate == 0 {
 		j.Simulate = j.Threads
 	}
+	if c, err := omp.NewCutoff(j.RuntimeCutoff); err == nil {
+		j.RuntimeCutoff = c.Name()
+	}
 	if j.RuntimeCutoff == "none" {
 		j.RuntimeCutoff = ""
+	}
+	if s, err := omp.NewScheduler(j.Policy); err == nil {
+		j.Policy = s.Name()
 	}
 	if j.Policy == omp.DefaultScheduler {
 		j.Policy = ""
@@ -108,8 +126,15 @@ func (j JobSpec) Key() string {
 		sw = n.Overheads.SwitchNS
 		qs = n.Overheads.QueueSerializeNS
 	}
-	canon := fmt.Sprintf("bots-job-v1|bench=%s|version=%s|class=%s|threads=%d|cutoff=%d|rtcutoff=%s|policy=%s|sim=%d|ts=%d|switchns=%g|qserns=%g",
-		n.Bench, n.Version, n.Class, n.Threads, n.CutoffDepth, n.RuntimeCutoff, n.Policy, n.Simulate, ts, sw, qs)
+	pin := 0
+	if n.Pin {
+		pin = 1
+	}
+	// v2 added the procs/pin execution axes; every field participates
+	// unconditionally so two specs differing only in a new axis can
+	// never alias (v1 records re-measure under v2 keys).
+	canon := fmt.Sprintf("bots-job-v2|bench=%s|version=%s|class=%s|threads=%d|cutoff=%d|rtcutoff=%s|policy=%s|sim=%d|procs=%d|pin=%d|ts=%d|switchns=%g|qserns=%g",
+		n.Bench, n.Version, n.Class, n.Threads, n.CutoffDepth, n.RuntimeCutoff, n.Policy, n.Simulate, n.Procs, pin, ts, sw, qs)
 	sum := sha256.Sum256([]byte(canon))
 	return hex.EncodeToString(sum[:8])
 }
@@ -136,6 +161,9 @@ func (j JobSpec) Validate() error {
 	}
 	if j.CutoffDepth < 0 {
 		return fmt.Errorf("lab: job %s/%s has negative cut-off depth %d", j.Bench, j.Version, j.CutoffDepth)
+	}
+	if j.Procs < 0 {
+		return fmt.Errorf("lab: job %s/%s has negative procs %d", j.Bench, j.Version, j.Procs)
 	}
 	// Name vocabularies have one source of truth: the omp registries.
 	if _, err := omp.NewCutoff(j.RuntimeCutoff); err != nil {
@@ -179,6 +207,12 @@ type SweepSpec struct {
 	// Simulate is the virtual-team-size axis (0 = same as threads).
 	// Empty means [0].
 	Simulate []int `json:"simulate,omitempty"`
+	// Procs is the GOMAXPROCS axis for the recording run (0 = process
+	// default). Sweeping Procs against Threads is the oversubscription
+	// grid. Empty means [0].
+	Procs []int `json:"procs,omitempty"`
+	// Pin is the OS-thread-pinning axis. Empty means [false].
+	Pin []bool `json:"pin,omitempty"`
 	// Overheads optionally applies simulator overrides to every cell.
 	Overheads *SimOverrides `json:"overheads,omitempty"`
 }
@@ -237,6 +271,14 @@ func (s SweepSpec) Expand() ([]JobSpec, error) {
 	if len(sims) == 0 {
 		sims = []int{0}
 	}
+	procs := s.Procs
+	if len(procs) == 0 {
+		procs = []int{0}
+	}
+	pins := s.Pin
+	if len(pins) == 0 {
+		pins = []bool{false}
+	}
 
 	versionUsed := make(map[string]bool, len(versions))
 	seen := map[string]bool{}
@@ -256,17 +298,23 @@ func (s SweepSpec) Expand() ([]JobSpec, error) {
 						for _, rc := range rtCutoffs {
 							for _, pol := range policies {
 								for _, sim := range sims {
-									j := JobSpec{
-										Bench: b.Name, Version: name, Class: class,
-										Threads: t, CutoffDepth: cd, RuntimeCutoff: rc,
-										Policy: pol, Simulate: sim, Overheads: s.Overheads,
-									}.Normalize()
-									if err := j.Validate(); err != nil {
-										return nil, err
-									}
-									if k := j.Key(); !seen[k] {
-										seen[k] = true
-										jobs = append(jobs, j)
+									for _, pr := range procs {
+										for _, pin := range pins {
+											j := JobSpec{
+												Bench: b.Name, Version: name, Class: class,
+												Threads: t, CutoffDepth: cd, RuntimeCutoff: rc,
+												Policy: pol, Simulate: sim,
+												Procs: pr, Pin: pin,
+												Overheads: s.Overheads,
+											}.Normalize()
+											if err := j.Validate(); err != nil {
+												return nil, err
+											}
+											if k := j.Key(); !seen[k] {
+												seen[k] = true
+												jobs = append(jobs, j)
+											}
+										}
 									}
 								}
 							}
@@ -309,6 +357,12 @@ func (j JobSpec) less(o JobSpec) bool {
 	}
 	if j.Simulate != o.Simulate {
 		return j.Simulate < o.Simulate
+	}
+	if j.Procs != o.Procs {
+		return j.Procs < o.Procs
+	}
+	if j.Pin != o.Pin {
+		return !j.Pin
 	}
 	return j.Key() < o.Key()
 }

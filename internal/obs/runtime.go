@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// Go-runtime health metrics, pulled from runtime/metrics at scrape
+// time. The runtime's own counters answer the questions the task
+// counters cannot: is the collector stealing worker time (GC pause
+// tail), are worker goroutines waiting for a P (scheduling-latency
+// tail — the observable GOMAXPROCS oversubscription degrades), and
+// how much of the heap is actually live (allocation-regression
+// watchdog alongside the perf suite's allocs/task gates).
+
+// runtimeSamples are the series RegisterRuntimeMetrics publishes.
+var runtimeSamples = []struct {
+	metric string // runtime/metrics key
+	name   string // exposition name
+	help   string
+	p99    bool // histogram → report its 99th percentile
+}{
+	{"/gc/pauses:seconds", "bots_go_gc_pause_p99_seconds",
+		"99th percentile of recent stop-the-world GC pauses.", true},
+	{"/sched/latencies:seconds", "bots_go_sched_latency_p99_seconds",
+		"99th percentile of time goroutines spent runnable before running.", true},
+	{"/gc/heap/live:bytes", "bots_go_heap_live_bytes",
+		"Heap memory occupied by live objects after the last GC.", false},
+}
+
+// runtimeSampler batches the runtime/metrics read and caches it
+// briefly, so one scrape evaluating several GaugeFuncs performs one
+// metrics.Read instead of one per series.
+type runtimeSampler struct {
+	mu      sync.Mutex
+	fetched time.Time
+	samples []metrics.Sample
+}
+
+const runtimeSampleTTL = 500 * time.Millisecond
+
+func newRuntimeSampler() *runtimeSampler {
+	s := &runtimeSampler{samples: make([]metrics.Sample, len(runtimeSamples))}
+	for i := range runtimeSamples {
+		s.samples[i].Name = runtimeSamples[i].metric
+	}
+	return s
+}
+
+// value returns the current value of series i, refreshing the batch
+// read if the cache expired.
+func (s *runtimeSampler) value(i int) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if time.Since(s.fetched) > runtimeSampleTTL {
+		metrics.Read(s.samples)
+		s.fetched = time.Now()
+	}
+	sm := s.samples[i]
+	switch sm.Value.Kind() {
+	case metrics.KindUint64:
+		return float64(sm.Value.Uint64())
+	case metrics.KindFloat64:
+		return sm.Value.Float64()
+	case metrics.KindFloat64Histogram:
+		if runtimeSamples[i].p99 {
+			return histQuantile(sm.Value.Float64Histogram(), 0.99)
+		}
+	}
+	return 0
+}
+
+// histQuantile computes a quantile from a runtime/metrics histogram:
+// the smallest bucket upper bound at which the cumulative count
+// reaches q of the total. Infinite bounds fall back to the nearest
+// finite neighbour so a tail in the overflow bucket still yields a
+// usable number.
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	if h == nil || len(h.Counts) == 0 {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	thresh := uint64(math.Ceil(q * float64(total)))
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= thresh {
+			// Bucket i spans (Buckets[i], Buckets[i+1]].
+			ub := h.Buckets[i+1]
+			if math.IsInf(ub, +1) {
+				return h.Buckets[i] // overflow bucket: report its finite floor
+			}
+			return ub
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}
+
+// RegisterRuntimeMetrics publishes the Go runtime's health series
+// (GC pause p99, goroutine scheduling-latency p99, live heap bytes)
+// as pull-based gauges: nothing is sampled until the registry is
+// scraped, and one scrape costs one runtime/metrics batch read.
+func RegisterRuntimeMetrics(r *Registry, labels ...Label) {
+	s := newRuntimeSampler()
+	for i := range runtimeSamples {
+		i := i
+		r.GaugeFunc(runtimeSamples[i].name, runtimeSamples[i].help,
+			func() float64 { return s.value(i) }, labels...)
+	}
+}

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"math"
+	"runtime"
+	"runtime/metrics"
+	"strings"
+	"testing"
+)
+
+// TestRegisterRuntimeMetrics scrapes the runtime gauges through the
+// registry and checks each advertised series appears with a sane
+// value (heap live must be positive in any running process; the
+// latency percentiles must be finite and non-negative).
+func TestRegisterRuntimeMetrics(t *testing.T) {
+	// Force a GC so the pause histogram and live-heap figure are
+	// populated regardless of test ordering.
+	runtime.GC()
+
+	r := NewRegistry()
+	RegisterRuntimeMetrics(r, Label{Name: "source", Value: "test"})
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, name := range []string{
+		"bots_go_gc_pause_p99_seconds",
+		"bots_go_sched_latency_p99_seconds",
+		"bots_go_heap_live_bytes",
+	} {
+		if !strings.Contains(out, name+`{source="test"}`) {
+			t.Errorf("exposition missing %s:\n%s", name, out)
+		}
+	}
+
+	s := newRuntimeSampler()
+	for i := range runtimeSamples {
+		v := s.value(i)
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			t.Errorf("%s = %v, want a finite non-negative value", runtimeSamples[i].name, v)
+		}
+	}
+	if heap := s.value(2); heap <= 0 {
+		t.Errorf("live heap = %v bytes, want > 0", heap)
+	}
+}
+
+// TestHistQuantile pins the bucket walk on a hand-built histogram,
+// including the infinite-bound edges runtime/metrics produces.
+func TestHistQuantile(t *testing.T) {
+	h := &metrics.Float64Histogram{
+		Counts:  []uint64{10, 80, 9, 1},
+		Buckets: []float64{0, 1, 2, 3, math.Inf(+1)},
+	}
+	if got := histQuantile(h, 0.5); got != 2 {
+		t.Errorf("p50 = %v, want 2 (cumulative 90 at bucket (1,2])", got)
+	}
+	if got := histQuantile(h, 0.99); got != 3 {
+		t.Errorf("p99 = %v, want 3 (cumulative 99 at bucket (2,3])", got)
+	}
+	// The tail lives in the overflow bucket: report its finite floor.
+	if got := histQuantile(h, 1.0); got != 3 {
+		t.Errorf("p100 = %v, want 3 (finite floor of the +Inf bucket)", got)
+	}
+	if got := histQuantile(&metrics.Float64Histogram{}, 0.99); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+	if got := histQuantile(nil, 0.99); got != 0 {
+		t.Errorf("nil histogram quantile = %v, want 0", got)
+	}
+}

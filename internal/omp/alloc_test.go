@@ -6,8 +6,8 @@ import "testing"
 // After a warm-up region fills the recycling tiers (pool.go), a
 // deferred or undeferred task costs no runtime allocation at all (the
 // task struct is recycled and the execution Context is embedded in
-// it), and a Future spawn costs only the Future itself (the producing
-// fn rides inside it — no wrapping closure; see future.go).
+// it), and a consumed Future spawn is likewise free (the cell comes
+// from a typed pool and recycles at region end; see future.go).
 // Thresholds leave headroom for a GC emptying the pool
 // mid-measurement; the pre-recycling runtime sat at ~4 (deferred),
 // ~3 (undeferred) and ~8 (future) allocations per task, so even the
@@ -55,20 +55,30 @@ func TestTaskAllocsUndeferred(t *testing.T) {
 func TestFutureSpawnAllocs(t *testing.T) {
 	fn := func(c *Context) int { return 1 }
 	got := allocsPerTask(t, func(c *Context) {
+		var fs [64]*Future[int]
 		for i := 0; i < allocTasks; i++ {
-			f := Spawn(c, fn)
+			fs[i%64] = Spawn(c, fn)
 			if i%64 == 63 {
-				f.Wait(c)
-				c.Taskwait()
+				for _, f := range fs {
+					f.Wait(c)
+				}
 			}
 		}
 		c.Taskwait()
 	})
-	// The Future struct (which carries fn; see future.go's runFuture)
-	// is the only inherent per-spawn heap object; the task itself and
-	// the execution path must be free.
-	if got > 1.2 {
-		t.Errorf("future spawn path: %.3f allocs/task, want <= 1.2 (steady state is ~1)", got)
+	// Since the typed cell pools (futPoolFor, future.go), a consumed
+	// Future costs no per-spawn heap object at all: the cell recycles
+	// at region end exactly like the task struct. Every future in the
+	// loop is Wait()ed, so steady state is ~0 (the residue is the
+	// per-region futGrave slice growth, amortized over allocTasks).
+	// Under race the cell pool drops a random fraction of its traffic
+	// (see raceEnabled), so only the order of magnitude is pinned.
+	limit := 0.05
+	if raceEnabled {
+		limit = 0.6
+	}
+	if got > limit {
+		t.Errorf("future spawn path: %.3f allocs/task, want <= %.2f (steady state is ~0)", got, limit)
 	}
 }
 

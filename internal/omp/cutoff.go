@@ -279,7 +279,7 @@ func NewCutoff(name string) (CutoffPolicy, error) {
 	if name == "" {
 		name = "none"
 	}
-	base, args, err := parseCutoffName(name)
+	base, args, err := parseParamName("cut-off", name)
 	if err != nil {
 		return nil, err
 	}
@@ -292,27 +292,29 @@ func NewCutoff(name string) (CutoffPolicy, error) {
 	return ctor(args)
 }
 
-// parseCutoffName splits "base(a,b,...)" into the base name and its
-// integer arguments; a bare name yields no arguments.
-func parseCutoffName(name string) (string, []int64, error) {
+// parseParamName splits "base(a,b,...)" into the base name and its
+// integer arguments; a bare name yields no arguments. kind names the
+// registry ("cut-off", "scheduler") in error messages — both
+// parameterized-name vocabularies share this one grammar.
+func parseParamName(kind, name string) (string, []int64, error) {
 	open := strings.IndexByte(name, '(')
 	if open < 0 {
 		return name, nil, nil
 	}
 	if !strings.HasSuffix(name, ")") || open == 0 {
-		return "", nil, fmt.Errorf("omp: malformed cut-off name %q (want name or name(limit))", name)
+		return "", nil, fmt.Errorf("omp: malformed %s name %q (want name or name(limit))", kind, name)
 	}
 	base := name[:open]
 	inner := name[open+1 : len(name)-1]
 	if inner == "" {
-		return "", nil, fmt.Errorf("omp: malformed cut-off name %q (empty parameter list)", name)
+		return "", nil, fmt.Errorf("omp: malformed %s name %q (empty parameter list)", kind, name)
 	}
 	parts := strings.Split(inner, ",")
 	args := make([]int64, 0, len(parts))
 	for _, p := range parts {
 		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
 		if err != nil {
-			return "", nil, fmt.Errorf("omp: cut-off %q: parameter %q is not an integer", name, p)
+			return "", nil, fmt.Errorf("omp: %s %q: parameter %q is not an integer", kind, name, p)
 		}
 		args = append(args, v)
 	}

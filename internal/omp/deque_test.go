@@ -208,3 +208,77 @@ func TestDequeSequentialSemantics(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestDequePoolResetsWindow pins the invariant that makes cross-region
+// queue pooling safe: clearStale must leave the deque EMPTY, not just
+// nil-slotted. A deque Fini'd with tasks still queued (direct
+// scheduler harnesses do this) otherwise keeps its non-empty
+// [top, bottom) window over the now-nil slots, and in the next region
+// every top-side consumer — stealIf, and breadthfirst's own-top
+// PopLocal — returns nil at the ghost indices without advancing top.
+// Tasks pushed or batch-relocated above such a window are then
+// permanently unreachable from the top side: the region wedges with
+// live tasks and all workers parked. (Observed as a rare
+// TestStealBatchRegionAccounting hang before clearStale collapsed the
+// window.)
+func TestDequePoolResetsWindow(t *testing.T) {
+	d := newDeque()
+	for i := 0; i < 20; i++ {
+		d.pushBottom(mkTask(i))
+	}
+	if d.steal() == nil { // advance top so the window is mid-ring
+		t.Fatal("steal from a 20-task deque returned nil")
+	}
+	d.clearStale() // pool-return with 19 tasks still queued
+	if n := d.size(); n != 0 {
+		t.Fatalf("pooled deque reports size %d, want 0 (ghost window)", n)
+	}
+
+	// The reused deque must serve both ends again.
+	d.pushBottom(mkTask(100))
+	d.pushBottom(mkTask(101))
+	if got := d.steal(); got == nil || got.depth != 100 {
+		t.Fatalf("steal after reuse = %v, want task 100 (top side blocked by ghost window?)", got)
+	}
+	if got := d.popBottom(); got == nil || got.depth != 101 {
+		t.Fatalf("popBottom after reuse = %v, want task 101", got)
+	}
+}
+
+// TestSchedulerPoolReuseAfterUndrainedFini replays the pollution path
+// end to end at the scheduler level: Fini a scheduler with queued
+// tasks (as TestStealBatchConstrainedSingle legitimately does), then
+// Init fresh schedulers from the shared pool and check every slot
+// starts empty and fully operational on both queue ends.
+func TestSchedulerPoolReuseAfterUndrainedFini(t *testing.T) {
+	for round := 0; round < 8; round++ { // several rounds so pooled pairs recirculate
+		s, err := NewScheduler("workfirst(16)")
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := s.(*dequeScheduler)
+		d.Init(2)
+		for i := 0; i < 20; i++ {
+			d.Push(0, &task{depth: int32(i)})
+		}
+		d.Steal(1, nil) // relocates part of the backlog onto slot 1
+		d.Fini()        // both slots still hold tasks
+
+		s2, err := NewScheduler("breadthfirst(16)")
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2 := s2.(*dequeScheduler)
+		d2.Init(2)
+		for i := 0; i < 2; i++ {
+			if q := d2.Queued(i); q != 0 {
+				t.Fatalf("round %d: fresh region slot %d starts with %d queued tasks", round, i, q)
+			}
+		}
+		d2.Push(0, &task{depth: 7})
+		if tk := d2.Steal(1, nil); tk == nil || tk.depth != 7 {
+			t.Fatalf("round %d: steal from reused slot = %v, want the pushed task", round, tk)
+		}
+		d2.Fini()
+	}
+}

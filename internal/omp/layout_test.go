@@ -1,0 +1,62 @@
+package omp
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestPaddedLayout pins the false-sharing separations the padding
+// audit landed (DESIGN.md §12): the measured wins only hold while the
+// hot words actually sit on distinct cache lines, and an innocent
+// field addition would silently fold them back together. Offsets are
+// asserted as "at least a line apart" rather than exact, so benign
+// reordering inside a cluster stays legal.
+func TestPaddedLayout(t *testing.T) {
+	const line = 64
+
+	gap := func(name string, lo, hi uintptr) {
+		t.Helper()
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		if hi-lo < line {
+			t.Errorf("%s: %d bytes apart, want >= %d (false-sharing pad lost)", name, hi-lo, line)
+		}
+	}
+
+	// deque: the thief-CASed top and the owner-written bottom/ring
+	// must not share a line (Chase–Lev's classic hazard).
+	var d deque
+	gap("deque.top vs deque.bottom", unsafe.Offsetof(d.top), unsafe.Offsetof(d.bottom))
+	if sz := unsafe.Sizeof(d); sz%line != 0 {
+		t.Errorf("sizeof(deque) = %d, want a multiple of %d", sz, line)
+	}
+
+	// schedSlot: exactly two lines per slot so neighbouring slots in
+	// the ws array never share a line (and the adjacent-line
+	// prefetcher cannot couple them).
+	if sz := unsafe.Sizeof(schedSlot{}); sz != 2*line {
+		t.Errorf("sizeof(schedSlot) = %d, want %d", sz, 2*line)
+	}
+
+	// workerStats: whole-line multiple, as its comment promises.
+	if sz := unsafe.Sizeof(workerStats{}); sz%line != 0 {
+		t.Errorf("sizeof(workerStats) = %d, want a multiple of %d", sz, line)
+	}
+
+	// mpmcSlot: one slot per line (mpmc.go's documented invariant).
+	if sz := unsafe.Sizeof(mpmcSlot{}); sz != line {
+		t.Errorf("sizeof(mpmcSlot) = %d, want %d", sz, line)
+	}
+
+	// Team: the four hot atomic clusters — liveTasks (written by every
+	// spawn/finish), the barrier generation words, the read-mostly
+	// idleWaiters, and the read-mostly waitParkers — each get their own
+	// line, and the worksharing mutex that follows does not share the
+	// last one.
+	var tm Team
+	gap("Team.liveTasks vs Team.barGen", unsafe.Offsetof(tm.liveTasks), unsafe.Offsetof(tm.barGen))
+	gap("Team.barGen vs Team.idleWaiters", unsafe.Offsetof(tm.barGen), unsafe.Offsetof(tm.idleWaiters))
+	gap("Team.idleWaiters vs Team.waitParkers", unsafe.Offsetof(tm.idleWaiters), unsafe.Offsetof(tm.waitParkers))
+	gap("Team.waitParkers vs Team.wsMu", unsafe.Offsetof(tm.waitParkers), unsafe.Offsetof(tm.wsMu))
+}

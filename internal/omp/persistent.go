@@ -341,6 +341,10 @@ func (pt *PersistentTeam) runSubmission(w *worker, it *task) bool {
 func (pt *PersistentTeam) serveWorker(w *worker, it *task) {
 	defer pt.wg.Done()
 	tm := pt.tm
+	if tm.pinWorkers {
+		runtime.LockOSThread()
+		defer runtime.UnlockOSThread()
+	}
 	w.cur = it
 	idle := 0
 	for {
@@ -356,7 +360,7 @@ func (pt *PersistentTeam) serveWorker(w *worker, it *task) {
 		// may recycle its buried tasks immediately instead of waiting
 		// for Close — this is what keeps a sequential submit loop at
 		// zero steady-state allocations (see flushOwnGrave).
-		if len(tm.workers) == 1 && len(w.grave) > 0 && tm.liveTasks.Load() == 0 {
+		if len(tm.workers) == 1 && (len(w.grave) > 0 || len(w.futGrave) > 0) && tm.liveTasks.Load() == 0 {
 			pt.flushOwnGrave(w)
 		}
 		if pt.closed.Load() && pt.inflight.Load() == 0 && tm.liveTasks.Load() == 0 {
@@ -403,6 +407,13 @@ func (pt *PersistentTeam) flushOwnGrave(w *worker) {
 		w.grave[i] = nil
 	}
 	w.grave = w.grave[:0]
+	for i, f := range w.futGrave {
+		// No live task ⇒ no Wait can be in flight, so the consumed
+		// flags are stable: recycle what was consumed, drop the rest.
+		f.tryRecycle()
+		w.futGrave[i] = nil
+	}
+	w.futGrave = w.futGrave[:0]
 }
 
 // tryFlushGraves recycles every worker's grave list on a multi-worker
@@ -438,5 +449,10 @@ func (pt *PersistentTeam) tryFlushGraves() {
 			w.grave[i] = nil
 		}
 		w.grave = w.grave[:0]
+		for i, f := range w.futGrave {
+			f.tryRecycle() // quiescent: no Wait in flight (cf. flushOwnGrave)
+			w.futGrave[i] = nil
+		}
+		w.futGrave = w.futGrave[:0]
 	}
 }

@@ -1,0 +1,43 @@
+package omp
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestWithPinning smoke-tests OS-thread pinning on both region kinds:
+// the option must not change results or wedge the spin→park idle
+// protocol (a pinned worker that parks still releases its thread to
+// the scheduler — LockOSThread wires the goroutine to the thread, it
+// does not spin the thread).
+func TestWithPinning(t *testing.T) {
+	var sum atomic.Int64
+	Parallel(4, func(c *Context) {
+		c.Single(func(c *Context) {
+			for i := 0; i < 100; i++ {
+				i := i
+				c.Task(func(c *Context) { sum.Add(int64(i)) })
+			}
+			c.Taskwait()
+		})
+	}, WithPinning(true))
+	if got := sum.Load(); got != 4950 {
+		t.Fatalf("pinned region sum = %d, want 4950", got)
+	}
+
+	pt := NewPersistentTeam(4, WithPinning(true))
+	defer pt.Close()
+	sum.Store(0)
+	for r := 0; r < 3; r++ {
+		pt.SubmitWait(func(c *Context) {
+			for i := 0; i < 50; i++ {
+				i := i
+				c.Task(func(c *Context) { sum.Add(int64(i)) })
+			}
+			c.Taskwait()
+		})
+	}
+	if got := sum.Load(); got != 3*1225 {
+		t.Fatalf("pinned persistent team sum = %d, want %d", got, 3*1225)
+	}
+}

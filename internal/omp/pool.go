@@ -85,6 +85,21 @@ func (w *worker) bury(t *task) {
 	}
 }
 
+// maxWorkerFutGrave bounds the per-worker future-cell grave; beyond
+// it, cells are simply dropped for the GC, like task-grave overflow.
+const maxWorkerFutGrave = 8192
+
+// buryFuture records a Spawn-created cell for recycling at region (or
+// submission) quiescence. Owner-only: Spawn runs on the creating
+// worker. The cell is buried at creation, not completion, because
+// unlike tasks the cell has no finish hook on the worker that would
+// see it again — and the recycler skips cells that never completed.
+func (w *worker) buryFuture(f futCell) {
+	if len(w.futGrave) < maxWorkerFutGrave {
+		w.futGrave = append(w.futGrave, f)
+	}
+}
+
 // releaseTasks drains the worker's recycling tiers into the global
 // pool. Called from Parallel after every worker goroutine has joined,
 // when no task of the region can be referenced anymore.
@@ -100,6 +115,11 @@ func (w *worker) releaseTasks() {
 		w.grave[i] = nil
 	}
 	w.grave = nil
+	for i, f := range w.futGrave {
+		f.tryRecycle()
+		w.futGrave[i] = nil
+	}
+	w.futGrave = nil
 }
 
 // reset zeroes a task for reuse. Atomics are stored through, so the

@@ -1,0 +1,10 @@
+//go:build !race
+
+package omp
+
+// raceEnabled reports whether the race detector is active. Alloc
+// regression tests loosen their pool-dependent thresholds under race:
+// sync.Pool deliberately drops a fraction of Put/Get pairs when the
+// detector is on (to widen schedule coverage), so cross-region
+// recycling is probabilistic there.
+const raceEnabled = false

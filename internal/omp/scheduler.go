@@ -96,9 +96,15 @@ type seededScheduler interface {
 // CLI flags).
 const DefaultScheduler = "workfirst"
 
+// schedCtor builds a scheduler from the parsed integer arguments of a
+// parameterized name (empty for the bare form) — the same arrangement
+// the cut-off registry uses, so lab manifests can sweep scheduler
+// *parameters* (today: the steal batch), not just scheduler kinds.
+type schedCtor func(args []int64) (Scheduler, error)
+
 var (
 	schedMu  sync.RWMutex
-	schedReg = map[string]func() Scheduler{}
+	schedReg = map[string]schedCtor{}
 )
 
 // regionSeq counts parallel regions process-wide; the distributed
@@ -120,8 +126,22 @@ func splitmix64(x uint64) uint64 {
 // RegisterScheduler adds a scheduler constructor under name. The
 // constructor returns a fresh, un-Init-ed instance per call (one per
 // parallel region). It panics on empty or duplicate names; it is
-// meant to be called from init functions.
+// meant to be called from init functions. Schedulers registered
+// through this entry point take no name parameters; the in-package
+// deque family registers parameterized constructors directly.
 func RegisterScheduler(name string, ctor func() Scheduler) {
+	if ctor == nil {
+		panic("omp: invalid scheduler registration")
+	}
+	registerSchedulerParam(name, func(args []int64) (Scheduler, error) {
+		if len(args) != 0 {
+			return nil, fmt.Errorf("omp: scheduler %q takes no parameters", name)
+		}
+		return ctor(), nil
+	})
+}
+
+func registerSchedulerParam(name string, ctor schedCtor) {
 	if name == "" || ctor == nil {
 		panic("omp: invalid scheduler registration")
 	}
@@ -147,33 +167,56 @@ func Schedulers() []string {
 	return names
 }
 
-// NewScheduler returns a fresh instance of the named scheduler. The
-// empty name selects DefaultScheduler. Unknown names error with the
-// full registered vocabulary, so every layer that resolves a
-// scheduler name reports the same message.
+// NewScheduler returns a fresh instance of the named scheduler — bare
+// ("workfirst") or parameterized ("workfirst(8)", overriding the
+// steal batch for the deque family). The empty name selects
+// DefaultScheduler. It accepts exactly the strings Scheduler.Name
+// renders, so names recorded in lab stores always resolve back to the
+// configuration that produced them. Unknown names error with the full
+// registered vocabulary, so every layer that resolves a scheduler
+// name reports the same message.
 func NewScheduler(name string) (Scheduler, error) {
 	if name == "" {
 		name = DefaultScheduler
 	}
+	base, args, err := parseParamName("scheduler", name)
+	if err != nil {
+		return nil, err
+	}
 	schedMu.RLock()
-	ctor := schedReg[name]
+	ctor := schedReg[base]
 	schedMu.RUnlock()
 	if ctor == nil {
-		return nil, fmt.Errorf("omp: unknown scheduler %q (have %s)", name, strings.Join(Schedulers(), "/"))
+		return nil, fmt.Errorf("omp: unknown scheduler %q (have %s)", base, strings.Join(Schedulers(), "/"))
 	}
-	return ctor(), nil
+	return ctor(args)
+}
+
+// dequeCtor builds the parameterized constructor of one deque-family
+// configuration: zero arguments select the default steal batch, one
+// argument overrides it (name(batch); batch 1 restores the classic
+// single-task steal).
+func dequeCtor(base string, fifoLocal, affinity bool) schedCtor {
+	return func(args []int64) (Scheduler, error) {
+		batch := int64(defaultStealBatch)
+		switch len(args) {
+		case 0:
+		case 1:
+			batch = args[0]
+			if batch < 1 || batch > maxStealBatch {
+				return nil, fmt.Errorf("omp: scheduler %s steal batch must be in [1,%d], got %d", base, maxStealBatch, batch)
+			}
+		default:
+			return nil, fmt.Errorf("omp: scheduler %q takes at most one parameter (%s(batch))", base, base)
+		}
+		return &dequeScheduler{name: base, fifoLocal: fifoLocal, affinity: affinity, stealBatch: int(batch)}, nil
+	}
 }
 
 func init() {
-	RegisterScheduler("workfirst", func() Scheduler {
-		return &dequeScheduler{name: "workfirst"}
-	})
-	RegisterScheduler("breadthfirst", func() Scheduler {
-		return &dequeScheduler{name: "breadthfirst", fifoLocal: true}
-	})
-	RegisterScheduler("locality", func() Scheduler {
-		return &dequeScheduler{name: "locality", stealHalf: true, affinity: true}
-	})
+	registerSchedulerParam("workfirst", dequeCtor("workfirst", false, false))
+	registerSchedulerParam("breadthfirst", dequeCtor("breadthfirst", true, false))
+	registerSchedulerParam("locality", dequeCtor("locality", false, true))
 	RegisterScheduler("centralized", func() Scheduler {
 		return &centralScheduler{}
 	})
@@ -267,53 +310,86 @@ func (a *advMask) anyOther(self int) bool {
 //   - breadthfirst: the owner consumes its own deque FIFO as well, so
 //     tasks execute roughly in creation order.
 //   - locality: work-first local order plus affinity stealing — a
-//     thief returns to its last successful victim before sweeping,
-//     and an unconstrained steal takes half the victim's backlog in
-//     one raid (steal-half), amortizing steal traffic and keeping
-//     related subtrees on one worker.
+//     thief returns to its last successful victim before sweeping.
+//
+// All three steal in batches by default: an unconstrained raid takes
+// up to half the victim's backlog (capped by the steal batch) in one
+// visit, amortizing victim selection, advertisement maintenance and
+// the thief's own publish over many tasks. The batch is the family's
+// registry parameter — "workfirst(1)" restores single-task stealing,
+// "workfirst(8)" caps a raid at 8 tasks — so the knob is sweepable
+// through lab manifests like the cut-off limits are.
 //
 // All three maintain the work-advertisement word (advMask), so an
 // idle team parks on the doorbell instead of sweeping P empty queue
 // tops per probe.
 type dequeScheduler struct {
-	name      string
-	fifoLocal bool // own-queue FIFO when unconstrained (breadthfirst)
-	stealHalf bool // bulk-steal half the victim's backlog (locality)
-	affinity  bool // retry the last successful victim first (locality)
-	seed      uint64
-	ws        []schedSlot
-	adv       advMask
+	name       string
+	fifoLocal  bool // own-queue FIFO when unconstrained (breadthfirst)
+	affinity   bool // retry the last successful victim first (locality)
+	stealBatch int  // max tasks per raid; <=1 means classic single steal
+	seed       uint64
+	ws         []schedSlot
+	adv        advMask
 }
 
-// schedSlot is one worker's queue state, padded so owner-written
-// fields of adjacent slots do not share a cache line. qp is the
+// defaultStealBatch is the raid cap the bare deque-family names
+// select (half the victim's backlog is taken, but never more than
+// this). maxStealBatch bounds the parameterized form; it also sizes
+// the per-slot raid buffer, so it is kept small.
+const (
+	defaultStealBatch = 32
+	maxStealBatch     = 256
+)
+
+// schedSlot is one worker's queue state, padded to a full cache line
+// so owner-written fields of adjacent slots never share one (the
+// false-sharing audit in DESIGN.md §12 measures why). qp is the
 // pooled wrapper the queues arrived in, kept so Fini can return it
-// without allocating a fresh one.
+// without allocating a fresh one. batchBuf is the owner-only raid
+// scratch the steal-batch path fills and drains (its backing array
+// lives in the pooled queuePair).
 type schedSlot struct {
 	dq         *deque
 	pq         *prioQueue
 	qp         *queuePair
+	batchBuf   []*task
 	rng        uint64 // victim-selection PRNG state, owner-only
 	lastVictim int    // last successful steal victim, owner-only
-	_          [16]byte
+	// Pad the 64 bytes of fields to 128 — two cache lines, so a slot
+	// never shares a line with its neighbours regardless of where the
+	// backing array starts, and the adjacent-line prefetcher cannot
+	// couple neighbouring slots either. Size pinned by TestPaddedLayout.
+	_ [64]byte
 }
 
 // queuePair is the pooled storage unit of the distributed schedulers:
-// one worker's deque and priority queue, kept (with their grown rings
-// and item arrays) across parallel regions. A scheduler instance
-// belongs to one region, but its queue storage is the steady-state
-// allocation cost of opening a region — pooling it means a program
-// that opens regions in a loop stops allocating queue storage at all.
+// one worker's deque, priority queue and raid buffer, kept (with
+// their grown rings and item arrays) across parallel regions. A
+// scheduler instance belongs to one region, but its queue storage is
+// the steady-state allocation cost of opening a region — pooling it
+// means a program that opens regions in a loop stops allocating queue
+// storage at all.
 type queuePair struct {
-	dq *deque
-	pq *prioQueue
+	dq  *deque
+	pq  *prioQueue
+	buf []*task // raid scratch; grown to the region's steal batch
 }
 
 var queuePairPool = sync.Pool{New: func() any {
 	return &queuePair{dq: newDeque(), pq: &prioQueue{}}
 }}
 
-func (d *dequeScheduler) Name() string { return d.name }
+// Name renders the registry form NewScheduler parses back: the bare
+// family name at the default steal batch, name(batch) otherwise — so
+// the batch knob rides inside every recorded policy string (lab keys,
+// bots -json) with no schema change.
+func (d *dequeScheduler) Name() string {
+	if d.stealBatch == defaultStealBatch {
+		return d.name
+	}
+	return fmt.Sprintf("%s(%d)", d.name, d.stealBatch)
+}
 
 // SchedulerSeed returns the region's victim-selection seed (mixed
 // from the process-wide region sequence number), surfaced in Stats
@@ -330,10 +406,14 @@ func (d *dequeScheduler) Init(n int) {
 		if rng == 0 {
 			rng = 0x2545f4914f6cdd1d // xorshift64* needs a non-zero state
 		}
+		if need := d.stealBatch - 1; need > 0 && cap(q.buf) < need {
+			q.buf = make([]*task, need)
+		}
 		d.ws[i] = schedSlot{
 			dq:         q.dq,
 			pq:         q.pq,
 			qp:         q,
+			batchBuf:   q.buf[:cap(q.buf)],
 			rng:        rng,
 			lastVictim: -1,
 		}
@@ -348,8 +428,9 @@ func (d *dequeScheduler) Fini() {
 		s := &d.ws[i]
 		s.dq.clearStale()
 		s.pq.clearStale()
+		clearTasks(s.batchBuf) // raid scratch must not pin tasks in the pool
 		queuePairPool.Put(s.qp)
-		s.dq, s.pq, s.qp = nil, nil, nil
+		s.dq, s.pq, s.qp, s.batchBuf = nil, nil, nil, nil
 	}
 	d.ws = nil
 }
@@ -454,11 +535,13 @@ func (d *dequeScheduler) Steal(self int, pred func(*task) bool) *task {
 }
 
 // takeFrom raids one victim: its priority queue before its deque.
-// With steal-half enabled and no constraint, a successful deque steal
-// also moves up to half the victim's remaining backlog onto the
-// thief's own deque (the thief owns its bottom end, so pushBottom is
-// safe here); a constrained thief takes a single admissible task —
-// bulk-moving tasks it may not be allowed to run would only bury them.
+// With a steal batch above one and no constraint, a successful deque
+// steal also moves up to min(batch-1, half the victim's remaining
+// backlog) onto the thief's own deque in one raid — the per-item
+// steals run inside the deque (stealBatchInto) and land with a single
+// batched publish (pushBottomBatch; the thief owns its bottom end).
+// A constrained thief takes a single admissible task — bulk-moving
+// tasks it may not be allowed to run would only bury them.
 //
 // Relocation can bury a tied waiter's unstarted child mid-deque on
 // another worker, where neither the waiter's constrained PopLocal
@@ -490,19 +573,18 @@ func (d *dequeScheduler) takeFrom(self, victim int, pred func(*task) bool) *task
 		}
 		return nil
 	}
-	if d.stealHalf && pred == nil {
+	if d.stealBatch > 1 && pred == nil {
 		me := &d.ws[self]
-		moved := false
-		for k := vs.dq.size() / 2; k > 0; k-- {
-			e := vs.dq.steal()
-			if e == nil {
-				break
-			}
-			me.dq.pushBottom(e)
-			moved = true
+		k := int(vs.dq.size() / 2)
+		if k > d.stealBatch-1 {
+			k = d.stealBatch - 1
 		}
-		if moved {
-			d.adv.set(self) // relocated backlog is stealable from us now
+		if k > 0 {
+			if n := vs.dq.stealBatchInto(me.batchBuf[:k]); n > 0 {
+				me.dq.pushBottomBatch(me.batchBuf[:n])
+				clearTasks(me.batchBuf[:n]) // scratch must not pin tasks
+				d.adv.set(self)             // relocated backlog is stealable from us now
+			}
 		}
 	}
 	if d.slotEmpty(victim) {

@@ -27,10 +27,29 @@ type Team struct {
 	// events (WithFlightRecorder). Every event site nil-checks it, so
 	// the default configuration pays one predictable branch.
 	fr *obs.FlightRecorder
+	// pinWorkers makes every worker goroutine wire itself to an OS
+	// thread (runtime.LockOSThread) for the region's lifetime — the
+	// oversubscription/pinning lab axis (WithPinning).
+	pinWorkers bool
+
+	// Cache-line padding between the hot atomic clusters below: each
+	// cluster has a distinct writer population and write rate, and
+	// without separation a write to one (liveTasks, touched by every
+	// spawn and finish on every core) would keep invalidating the line
+	// under the read-mostly words next to it (idleWaiters, loaded on
+	// every enqueue; waitParkers, loaded on every completion). The
+	// padding microbench in internal/perf (pad.go) measures the
+	// cross-core invalidation cost these pads remove; the separations
+	// are pinned by TestPaddedLayout. The Team is allocated once per
+	// region, so the size cost is irrelevant.
+	_ [64]byte
 
 	// liveTasks counts deferred tasks created and not yet finished;
-	// barriers wait for it to reach zero.
+	// barriers wait for it to reach zero. The hottest shared word of a
+	// region: every task creation and completion writes it from
+	// whichever core runs the task, so it gets a line of its own.
 	liveTasks atomic.Int64
+	_         [56]byte
 
 	// Barrier state (sense-reversing, task-executing). barBells holds
 	// one completion bell per barrier-generation parity: workers parked
@@ -49,6 +68,7 @@ type Team struct {
 	barGen     atomic.Int64
 	barArrived atomic.Int64
 	barBells   [2]chan struct{}
+	_          [32]byte // barrier cluster: 32 bytes of fields + pad = one line
 
 	// Doorbell for the bounded-spin→park idle protocol: workers that
 	// exhaust their spin budget register in idleWaiters and block on
@@ -58,8 +78,13 @@ type Team struct {
 	// needs one (≤ n-1 parkers ⇒ a full buffer already holds a token
 	// for each). Barrier completion broadcasts via barBells above, not
 	// doorbell tokens. See barrier for the lost-wakeup argument.
+	// idleWaiters is read-mostly: loaded by ring() on every enqueue,
+	// written only at park/unpark edges — so its line stays in the
+	// shared state of every core's cache as long as nothing hot is
+	// co-located with it.
 	idleWaiters atomic.Int32
 	doorbell    chan struct{}
+	_           [48]byte
 
 	// waitBell is the futex-style park word for condition waiters —
 	// taskwait, Future.Wait and Taskgroup drains. A waiter registers
@@ -74,8 +99,11 @@ type Team struct {
 	// misdirected-token deadlocks; the close-based broadcast (rather
 	// than depositing tokens) is what makes it absorption-proof. See
 	// wakeWaiters for the lost-wakeup argument.
+	// waitParkers is likewise read-mostly (loaded by wakeWaiters on
+	// every completion that could satisfy a waiter).
 	waitParkers atomic.Int32
 	waitBell    atomic.Pointer[chan struct{}]
+	_           [48]byte
 
 	// Worksharing bookkeeping: per-construct-instance state, keyed by
 	// each thread's private construct counter (all threads encounter
@@ -99,6 +127,7 @@ type teamConfig struct {
 	sched  Scheduler
 	rec    *trace.Recorder
 	fr     *obs.FlightRecorder
+	pin    bool
 }
 
 // WithCutoff installs a runtime cut-off policy (default NoCutoff).
@@ -129,6 +158,16 @@ func WithScheduler(name string) TeamOpt {
 // the region is recorded for later simulation.
 func WithRecorder(r *trace.Recorder) TeamOpt { return func(c *teamConfig) { c.rec = r } }
 
+// WithPinning wires each worker goroutine to its own OS thread
+// (runtime.LockOSThread) for the region's — or persistent team's —
+// lifetime. Go cannot bind an OS thread to a particular core, but
+// locking removes goroutine migration between threads, which is the
+// controllable half of CPU affinity: with GOMAXPROCS >= team size,
+// each pinned worker keeps its P, its timer state, and its cache
+// working set. The lab's oversubscription axis sweeps this knob
+// against the Procs axis (see internal/lab and core.RunConfig).
+func WithPinning(on bool) TeamOpt { return func(c *teamConfig) { c.pin = on } }
+
 // worker is one team thread.
 type worker struct {
 	id   int
@@ -142,6 +181,7 @@ type worker struct {
 	// Task-recycling tiers (pool.go); owner-only.
 	freeTasks []*task
 	grave     []*task
+	futGrave  []futCell
 	freeSuccs []*succNode
 
 	// taskCfg is the scratch task-creation config Task/Spawn apply
@@ -180,6 +220,10 @@ func Parallel(n int, body func(*Context), opts ...TeamOpt) *Stats {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			if tm.pinWorkers {
+				runtime.LockOSThread()
+				defer runtime.UnlockOSThread()
+			}
 			w.cur = it
 			func() {
 				defer func() {
@@ -220,14 +264,15 @@ func newTeam(n int, opts []TeamOpt) (*Team, []*task) {
 		cfg.sched = s
 	}
 	tm := &Team{
-		cutoff:    cfg.cutoff,
-		sched:     cfg.sched,
-		rec:       cfg.rec,
-		fr:        cfg.fr,
-		doorbell:  make(chan struct{}, n),
-		wsSingles: make(map[int64]bool),
-		wsLoops:   make(map[int64]*loopState),
-		wsReduces: make(map[int64]bool),
+		cutoff:     cfg.cutoff,
+		sched:      cfg.sched,
+		rec:        cfg.rec,
+		fr:         cfg.fr,
+		pinWorkers: cfg.pin,
+		doorbell:   make(chan struct{}, n),
+		wsSingles:  make(map[int64]bool),
+		wsLoops:    make(map[int64]*loopState),
+		wsReduces:  make(map[int64]bool),
 	}
 	tm.barBells[0] = make(chan struct{})
 	tm.barBells[1] = make(chan struct{})

@@ -1,0 +1,101 @@
+package perf
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Padding microbench: measures what a shared cache line actually costs
+// on this host, so the false-sharing pads in internal/omp (Team's hot
+// atomic clusters, the deque header, schedSlot — layout pinned by
+// omp's TestPaddedLayout) are justified by a number instead of
+// folklore. Two goroutines hammer two independent atomic counters that
+// are either adjacent (same line — every increment invalidates the
+// peer's line) or a line apart. The metrics are informational, not
+// gated: the ratio is a property of the host's coherence fabric, not
+// of this repo's code, and it collapses to ~1 on a single-core
+// machine.
+
+// sharedPair puts both counters on one cache line.
+type sharedPair struct {
+	a atomic.Int64
+	b atomic.Int64
+}
+
+// paddedPair gives each counter its own line (the same 8-byte word +
+// 56-byte pad recipe the runtime structs use).
+type paddedPair struct {
+	a atomic.Int64
+	_ [56]byte
+	b atomic.Int64
+	_ [56]byte
+}
+
+// padIters is the per-goroutine increment count for one measurement.
+const padIters = 1 << 20
+
+// hammerPair runs two goroutines incrementing ca and cb iters times
+// each and returns the wall time of the contended phase.
+func hammerPair(ca, cb *atomic.Int64, iters int) time.Duration {
+	var start, done sync.WaitGroup
+	start.Add(1)
+	done.Add(2)
+	for _, c := range []*atomic.Int64{ca, cb} {
+		go func(c *atomic.Int64) {
+			defer done.Done()
+			start.Wait()
+			for i := 0; i < iters; i++ {
+				c.Add(1)
+			}
+		}(c)
+	}
+	begin := time.Now()
+	start.Done()
+	done.Wait()
+	return time.Since(begin)
+}
+
+// falseSharingCost measures ns/op for the shared-line and padded
+// layouts (best of reps, like the timing metrics elsewhere in the
+// suite) and returns (sharedNs, paddedNs).
+func falseSharingCost(iters, reps int) (float64, float64) {
+	bestShared := time.Duration(1<<63 - 1)
+	bestPadded := bestShared
+	for r := 0; r < reps; r++ {
+		sp := new(sharedPair)
+		if d := hammerPair(&sp.a, &sp.b, iters); d < bestShared {
+			bestShared = d
+		}
+		pp := new(paddedPair)
+		if d := hammerPair(&pp.a, &pp.b, iters); d < bestPadded {
+			bestPadded = d
+		}
+	}
+	perOp := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / float64(iters) }
+	return perOp(bestShared), perOp(bestPadded)
+}
+
+// paddingMetrics runs the false-sharing microbench and renders it as
+// three informational metrics: the two absolute costs and their ratio
+// (sharedNs / paddedNs — how many times more an increment costs when
+// an independent hot word shares its line). The ratio is the number
+// DESIGN.md §12 cites when deciding which runtime words earned a pad.
+func paddingMetrics(o Options) []Metric {
+	iters := padIters
+	if o.Quick {
+		iters = padIters / 8
+	}
+	sharedNs, paddedNs := falseSharingCost(iters, o.Reps)
+	ratio := 0.0
+	if paddedNs > 0 {
+		ratio = sharedNs / paddedNs
+	}
+	extra := map[string]float64{"procs": float64(runtime.GOMAXPROCS(0))}
+	return []Metric{
+		{Name: "padding/shared-line", Value: sharedNs, Unit: "ns/op", Better: "lower", Extra: extra},
+		{Name: "padding/split-lines", Value: paddedNs, Unit: "ns/op", Better: "lower", Extra: extra},
+		{Name: "padding/invalidation-ratio", Value: ratio, Unit: "x", Better: "lower", Extra: extra},
+	}
+}

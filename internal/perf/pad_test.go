@@ -1,0 +1,49 @@
+package perf
+
+import "testing"
+
+// TestPaddingMetrics exercises the false-sharing microbench at a tiny
+// iteration count (it runs under -race in CI, where atomics are ~20×
+// slower) and checks the shape of its output, not the host-dependent
+// values: three informational metrics, positive costs, and a
+// well-formed ratio.
+func TestPaddingMetrics(t *testing.T) {
+	sharedNs, paddedNs := falseSharingCost(1<<12, 2)
+	if sharedNs <= 0 || paddedNs <= 0 {
+		t.Fatalf("non-positive cost: shared=%v padded=%v", sharedNs, paddedNs)
+	}
+
+	ms := paddingMetrics(Options{Quick: true, Reps: 1}.defaults())
+	if len(ms) != 3 {
+		t.Fatalf("paddingMetrics returned %d metrics, want 3", len(ms))
+	}
+	names := map[string]bool{}
+	for _, m := range ms {
+		names[m.Name] = true
+		if m.Gate {
+			t.Errorf("%s: padding metrics must be informational, found Gate=true", m.Name)
+		}
+		if m.Value < 0 {
+			t.Errorf("%s: negative value %v", m.Name, m.Value)
+		}
+	}
+	for _, want := range []string{"padding/shared-line", "padding/split-lines", "padding/invalidation-ratio"} {
+		if !names[want] {
+			t.Errorf("missing metric %q", want)
+		}
+	}
+}
+
+// TestHammerPairCounts verifies the microbench actually performs the
+// increments it claims to time.
+func TestHammerPairCounts(t *testing.T) {
+	pp := new(paddedPair)
+	const n = 1 << 10
+	hammerPair(&pp.a, &pp.b, n)
+	if got := pp.a.Load(); got != n {
+		t.Errorf("counter a = %d, want %d", got, n)
+	}
+	if got := pp.b.Load(); got != n {
+		t.Errorf("counter b = %d, want %d", got, n)
+	}
+}

@@ -122,6 +122,11 @@ func Run(o Options) (*Report, error) {
 	// the informational flight-recorder fib tax. See obsmetrics.go.
 	rep.Metrics = append(rep.Metrics, obsMetrics(o)...)
 
+	// False-sharing ledger: what a shared cache line costs on this
+	// host (informational; justifies the pads in internal/omp). See
+	// pad.go.
+	rep.Metrics = append(rep.Metrics, paddingMetrics(o)...)
+
 	if err := rep.Validate(); err != nil {
 		return nil, fmt.Errorf("perf: suite produced an invalid report: %w", err)
 	}
@@ -330,14 +335,20 @@ func allocMetrics() []Metric {
 		})
 	}) / n
 
+	// Every spawned future is Wait()ed: consumption is what licenses
+	// the typed cell pools to recycle at region end (future.go), so a
+	// consumed future costs zero steady-state allocations — the number
+	// this gate pins.
 	future := testing.AllocsPerRun(10, func() {
 		omp.Parallel(1, func(c *omp.Context) {
 			fn := func(c *omp.Context) int { return 1 }
+			var fs [64]*omp.Future[int]
 			for i := 0; i < n; i++ {
-				f := omp.Spawn(c, fn)
+				fs[i%64] = omp.Spawn(c, fn)
 				if i%64 == 63 {
-					f.Wait(c)
-					c.Taskwait()
+					for _, f := range fs {
+						f.Wait(c)
+					}
 				}
 			}
 			c.Taskwait()

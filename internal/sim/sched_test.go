@@ -141,3 +141,24 @@ func TestDisciplinesDiverge(t *testing.T) {
 		t.Fatalf("all disciplines produced one makespan: %v", seen)
 	}
 }
+
+// TestParameterizedSchedulerResolves: batch-parameterized registry
+// forms (workfirst(8), locality(64), …) replay under their base
+// name's discipline — the simulator models queue order and steal
+// direction, not raid width — while malformed or unknown
+// parameterized names still error.
+func TestParameterizedSchedulerResolves(t *testing.T) {
+	tr := flatTrace(16, 500, false)
+	for _, name := range []string{"workfirst(8)", "breadthfirst(2)", "locality(64)"} {
+		res, err := Run(tr, 2, Params{WorkUnitNS: 1, Scheduler: name})
+		if err != nil {
+			t.Fatalf("%s should simulate under its base discipline: %v", name, err)
+		}
+		if res.Speedup <= 0 {
+			t.Fatalf("%s replay produced no result", name)
+		}
+	}
+	if _, err := Run(tr, 2, Params{WorkUnitNS: 1, Scheduler: "chaotic(8)"}); err == nil {
+		t.Fatal("unknown base with a parameter should still error")
+	}
+}

@@ -26,6 +26,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"strings"
 	"sync"
 
 	"bots/internal/trace"
@@ -231,7 +232,11 @@ func RegisterDiscipline(name, base string) error {
 }
 
 // parseDiscipline maps an omp scheduler registry name onto the
-// simulator's matching (or registered-alias) queue discipline.
+// simulator's matching (or registered-alias) queue discipline. A
+// parameterized registry form — workfirst(8) and friends, carrying a
+// steal-batch size — resolves to its base name's discipline: the
+// simulator models queue order and steal direction, not raid width,
+// so every batch parameterization of one scheduler replays the same.
 func parseDiscipline(name string) (discipline, error) {
 	if d, ok := builtinDiscipline(name); ok {
 		return d, nil
@@ -241,6 +246,9 @@ func parseDiscipline(name string) (discipline, error) {
 	aliasMu.RUnlock()
 	if ok {
 		return d, nil
+	}
+	if i := strings.IndexByte(name, '('); i > 0 && strings.HasSuffix(name, ")") {
+		return parseDiscipline(name[:i])
 	}
 	return 0, fmt.Errorf("sim: no queue discipline for scheduler %q (have workfirst/breadthfirst/centralized/locality; RegisterDiscipline maps new scheduler names onto one of them)", name)
 }
