@@ -1,0 +1,60 @@
+// Command botsd is the fleet worker daemon: it registers with a
+// botslab coordinator (started with -fleet), leases sweep cells over
+// HTTP, executes them through the same lab Executor an in-process run
+// uses, heartbeats while measuring, and ships the finished Records
+// back. Several botsd processes — on one box or many — turn one
+// botslab sweep into a distributed run with no manifest changes.
+//
+//	botslab -serve :8080 -fleet -store bots-lab.jsonl &
+//	botsd -coordinator http://localhost:8080 -capacity 4
+//
+// SIGTERM/SIGINT drains gracefully: the daemon stops taking leases,
+// finishes what it holds, delivers those results, deregisters, and
+// exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	_ "bots/internal/apps/all"
+	"bots/internal/lab"
+)
+
+func main() {
+	defaultName, _ := os.Hostname()
+	if defaultName == "" {
+		defaultName = "botsd"
+	}
+	defaultName = fmt.Sprintf("%s-%d", defaultName, os.Getpid())
+	var (
+		coordinator = flag.String("coordinator", "http://localhost:8080", "botslab coordinator base URL")
+		name        = flag.String("name", defaultName, "worker name recorded in result provenance")
+		capacity    = flag.Int("capacity", runtime.NumCPU(), "max concurrently executing leases")
+		poll        = flag.Duration("poll", 250*time.Millisecond, "idle lease-poll interval")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	w := &lab.WorkerClient{
+		Coordinator: *coordinator,
+		Name:        *name,
+		Capacity:    *capacity,
+		Poll:        *poll,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "botsd[%s]: %s\n", *name, fmt.Sprintf(format, args...))
+		},
+	}
+	if err := w.Run(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "botsd:", err)
+		os.Exit(1)
+	}
+}

@@ -14,16 +14,30 @@
 //	curl -X POST localhost:8080/sweeps -d @examples/manifests/ci-smoke.json
 //	curl localhost:8080/sweeps/s1                 # status
 //	curl localhost:8080/sweeps/s1?follow=true     # NDJSON progress stream
+//	curl -X DELETE localhost:8080/sweeps/s1       # cancel
 //	curl 'localhost:8080/results?bench=fib&threads=2'
 //	curl 'localhost:8080/report/fig4?class=test&threads=1,2,4'
+//
+// Fleet coordinator (distributed sweeps; pair with cmd/botsd):
+//
+//	botslab -serve :8080 -fleet -store bots-lab.jsonl
+//	botsd -coordinator http://host:8080 &          # on each worker box
+//	curl localhost:8080/workers                    # fleet status
+//
+// With -fleet, sweep cells that miss the cache are leased out to
+// registered botsd workers instead of executing in-process; the store
+// contract is unchanged (hits still short-circuit locally), so
+// `-fleet -manifest` transparently fans a sweep across the fleet.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"runtime"
+	"time"
 
 	_ "bots/internal/apps/all"
 	"bots/internal/lab"
@@ -33,26 +47,83 @@ import (
 
 func main() {
 	var (
-		storePath = flag.String("store", "bots-lab.jsonl", "lab result store (JSONL); empty = in-memory only")
-		manifest  = flag.String("manifest", "", "sweep manifest to run to completion before serving/exiting")
-		serve     = flag.String("serve", "", "address to serve the lab HTTP API on (e.g. :8080); empty = run the manifest and exit")
-		workers   = flag.Int("workers", runtime.NumCPU(), "dispatcher worker-pool size")
-		retries   = flag.Int("retries", 1, "per-job retries after a failure")
-		progress  = flag.Bool("progress", true, "print per-job progress lines for -manifest sweeps")
+		storePath   = flag.String("store", "bots-lab.jsonl", "lab result store (JSONL); empty = in-memory only")
+		manifest    = flag.String("manifest", "", "sweep manifest to run to completion")
+		serve       = flag.String("serve", "", "address to serve the lab HTTP API on (e.g. :8080); empty = run the manifest and exit")
+		workers     = flag.Int("workers", 0, "dispatcher worker-pool size (0 = NumCPU locally, 64 with -fleet)")
+		retries     = flag.Int("retries", 1, "per-job retries after a failure")
+		progress    = flag.Bool("progress", true, "print per-job progress lines for -manifest sweeps")
+		fleet       = flag.Bool("fleet", false, "dispatch cache misses to registered botsd workers instead of executing in-process (requires -serve)")
+		leaseTTL    = flag.Duration("lease-ttl", 10*time.Second, "fleet lease lifetime without a heartbeat")
+		maxAttempts = flag.Int("max-attempts", 3, "fleet lease attempts per job before it fails")
 	)
 	flag.Parse()
 	if *manifest == "" && *serve == "" {
 		fmt.Fprintln(os.Stderr, "botslab: nothing to do: pass -manifest and/or -serve; see -h")
 		os.Exit(2)
 	}
+	if *fleet && *serve == "" {
+		fmt.Fprintln(os.Stderr, "botslab: -fleet needs -serve: workers lease jobs over the HTTP API")
+		os.Exit(2)
+	}
 
 	store, err := lab.OpenStore(*storePath)
 	fatal(err)
 	defer store.Close()
+
+	// The runner chain decides where a cache miss executes: in-process
+	// (DirectRunner) or leased out to the fleet (RemoteRunner). Either
+	// way CachedRunner short-circuits hits from the shared store first.
+	var coord *lab.Fleet
+	var next lab.Runner
 	direct := lab.NewDirectRunner()
-	runner := lab.NewCachedRunner(store, direct)
-	disp := lab.NewDispatcher(runner, *workers, *retries)
+	poolSize := *workers
+	if *fleet {
+		coord = lab.NewFleet(lab.FleetConfig{
+			LeaseTTL:    *leaseTTL,
+			MaxAttempts: *maxAttempts,
+			Store:       store,
+		})
+		defer coord.Close()
+		next = lab.NewRemoteRunner(coord)
+		if poolSize == 0 {
+			// Fleet dispatch is blocking-wait, not CPU work: size the
+			// pool for fan-out, not for cores.
+			poolSize = 64
+		}
+	} else {
+		next = direct
+		if poolSize == 0 {
+			poolSize = runtime.NumCPU()
+		}
+	}
+	runner := lab.NewCachedRunner(store, next)
+	disp := lab.NewDispatcher(runner, poolSize, *retries)
 	defer disp.Close()
+
+	// The server starts before any -manifest run: a fleet sweep needs
+	// the registration/lease endpoints up so workers can join, and a
+	// watcher can follow the sweep while it runs.
+	if *serve != "" {
+		server := &lab.Server{
+			Disp:   disp,
+			Store:  store,
+			Fleet:  coord,
+			Render: report.RenderFuncFor(runner),
+			// The process-wide registry behind GET /metrics; the server
+			// adds its bots_lab_* gauges on Handler construction.
+			Obs: obs.NewRegistry(),
+		}
+		ln, err := net.Listen("tcp", *serve)
+		fatal(err)
+		mode := "local"
+		if *fleet {
+			mode = "fleet"
+		}
+		fmt.Fprintf(os.Stderr, "botslab: serving on %s (%s mode, store %s, %d records; /metrics + pprof mounted)\n",
+			ln.Addr(), mode, *storePath, store.Len())
+		go func() { fatal(http.Serve(ln, server.Handler())) }()
+	}
 
 	if *manifest != "" {
 		f, err := os.Open(*manifest)
@@ -86,16 +157,7 @@ func main() {
 	}
 
 	if *serve != "" {
-		server := &lab.Server{
-			Disp:   disp,
-			Store:  store,
-			Render: report.RenderFuncFor(runner),
-			// The process-wide registry behind GET /metrics; the server
-			// adds its bots_lab_* gauges on Handler construction.
-			Obs: obs.NewRegistry(),
-		}
-		fmt.Fprintf(os.Stderr, "botslab: serving on %s (store %s, %d records; /metrics + pprof mounted)\n", *serve, *storePath, store.Len())
-		fatal(http.ListenAndServe(*serve, server.Handler()))
+		select {} // the HTTP goroutine serves until the process is killed
 	}
 }
 

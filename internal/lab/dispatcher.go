@@ -1,7 +1,10 @@
 package lab
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 )
@@ -10,37 +13,55 @@ import (
 type JobStatus string
 
 const (
-	JobQueued  JobStatus = "queued"
-	JobRunning JobStatus = "running"
-	JobDone    JobStatus = "done"
-	JobFailed  JobStatus = "failed"
+	JobQueued    JobStatus = "queued"
+	JobRunning   JobStatus = "running"
+	JobDone      JobStatus = "done"
+	JobFailed    JobStatus = "failed"
+	JobCancelled JobStatus = "cancelled"
 )
 
 // JobView is the externally visible state of one job (what the
-// status API returns).
+// status API returns). Between a failed attempt and its retry the job
+// sits in `queued` with Attempts, the last Error, and NextAttempt
+// (the end of its backoff window) all populated.
 type JobView struct {
-	Key      string    `json:"key"`
-	Spec     JobSpec   `json:"spec"`
-	Status   JobStatus `json:"status"`
-	Attempts int       `json:"attempts"`
-	Error    string    `json:"error,omitempty"`
+	Key         string     `json:"key"`
+	Spec        JobSpec    `json:"spec"`
+	Status      JobStatus  `json:"status"`
+	Attempts    int        `json:"attempts"`
+	Error       string     `json:"error,omitempty"`
+	NextAttempt *time.Time `json:"next_attempt,omitempty"`
 }
+
+// Sweep states reported by SweepStatus.State.
+const (
+	SweepRunning    = "running"
+	SweepDone       = "done"
+	SweepCancelling = "cancelling" // cancel requested, leased/running cells finishing
+	SweepCancelled  = "cancelled"
+)
 
 // SweepStatus is a point-in-time snapshot of a sweep.
 type SweepStatus struct {
 	ID      string    `json:"id"`
 	Name    string    `json:"name,omitempty"`
+	State   string    `json:"state"`
 	Created time.Time `json:"created"`
-	Total   int       `json:"total"`
-	Queued  int       `json:"queued"`
-	Running int       `json:"running"`
-	Done    int       `json:"done"`
-	Failed  int       `json:"failed"`
-	Jobs    []JobView `json:"jobs"`
+	// Instances is the manifest's requested worker count (0 = no
+	// per-sweep cap); the dispatcher degrades gracefully when the
+	// pool or fleet offers less.
+	Instances int       `json:"instances,omitempty"`
+	Total     int       `json:"total"`
+	Queued    int       `json:"queued"`
+	Running   int       `json:"running"`
+	Done      int       `json:"done"`
+	Failed    int       `json:"failed"`
+	Cancelled int       `json:"cancelled"`
+	Jobs      []JobView `json:"jobs"`
 }
 
 // Finished reports whether every job has reached a terminal state.
-func (s SweepStatus) Finished() bool { return s.Done+s.Failed == s.Total }
+func (s SweepStatus) Finished() bool { return s.Done+s.Failed+s.Cancelled == s.Total }
 
 // ProgressEvent is delivered to the dispatcher's progress callback on
 // every job state transition.
@@ -61,9 +82,20 @@ type Sweep struct {
 	name    string
 	created time.Time
 
+	// ctx is cancelled by Dispatcher.Cancel; context-aware runners
+	// (RemoteRunner waiting on the fleet) abort through it.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// instances and inflight are guarded by the dispatcher's mutex
+	// (they steer queue pops, not status reads).
+	instances int
+	inflight  int
+
 	mu        sync.Mutex
 	jobs      []JobView
 	remaining int
+	cancelled bool
 	done      chan struct{}
 }
 
@@ -79,16 +111,23 @@ func (s *Sweep) Wait() SweepStatus {
 	return s.Status()
 }
 
+func (s *Sweep) isCancelled() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cancelled
+}
+
 // Status returns a snapshot of the sweep.
 func (s *Sweep) Status() SweepStatus {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := SweepStatus{
-		ID:      s.id,
-		Name:    s.name,
-		Created: s.created,
-		Total:   len(s.jobs),
-		Jobs:    append([]JobView(nil), s.jobs...),
+		ID:        s.id,
+		Name:      s.name,
+		Created:   s.created,
+		Instances: s.instances,
+		Total:     len(s.jobs),
+		Jobs:      append([]JobView(nil), s.jobs...),
 	}
 	for _, j := range s.jobs {
 		switch j.Status {
@@ -100,16 +139,37 @@ func (s *Sweep) Status() SweepStatus {
 			st.Done++
 		case JobFailed:
 			st.Failed++
+		case JobCancelled:
+			st.Cancelled++
 		}
+	}
+	finished := st.Finished()
+	switch {
+	case s.cancelled && finished:
+		st.State = SweepCancelled
+	case s.cancelled:
+		st.State = SweepCancelling
+	case finished:
+		st.State = SweepDone
+	default:
+		st.State = SweepRunning
 	}
 	return st
 }
 
 // Dispatcher runs sweep jobs on a bounded worker pool with
-// per-job status, bounded retry on failure, and progress callbacks.
+// per-job status, bounded retry with jittered exponential backoff,
+// per-sweep instance caps, cancellation, and progress callbacks.
 type Dispatcher struct {
 	runner  Runner
 	retries int
+
+	// RetryBase and RetryCap shape the backoff between attempts of a
+	// failing job: attempt n waits RetryBase*2^(n-1), jittered ±25%,
+	// capped at RetryCap (defaults 250ms / 10s). Set before the first
+	// Submit.
+	RetryBase time.Duration
+	RetryCap  time.Duration
 
 	// OnProgress, when non-nil, is called (from worker goroutines,
 	// without internal locks held) on every job state transition.
@@ -135,7 +195,13 @@ func NewDispatcher(runner Runner, workers, retries int) *Dispatcher {
 	if retries < 0 {
 		retries = 0
 	}
-	d := &Dispatcher{runner: runner, retries: retries, sweeps: map[string]*Sweep{}}
+	d := &Dispatcher{
+		runner:    runner,
+		retries:   retries,
+		RetryBase: 250 * time.Millisecond,
+		RetryCap:  10 * time.Second,
+		sweeps:    map[string]*Sweep{},
+	}
 	d.cond = sync.NewCond(&d.mu)
 	d.wg.Add(workers)
 	for i := 0; i < workers; i++ {
@@ -144,20 +210,65 @@ func NewDispatcher(runner Runner, workers, retries int) *Dispatcher {
 	return d
 }
 
+// backoffDelay is the shared retry schedule of the dispatcher and the
+// fleet: base*2^(attempt-1) capped at max, jittered ±25% so a burst
+// of same-cause failures doesn't re-arrive in lockstep.
+func backoffDelay(base, max time.Duration, attempt int) time.Duration {
+	if base <= 0 {
+		base = 250 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 10 * time.Second
+	}
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	// ±25% jitter; rand's global source is fine — this is schedule
+	// noise, not an experiment input (those take seeded RNGs).
+	j := d / 4
+	if j > 0 {
+		d += time.Duration(rand.Int63n(int64(2*j))) - j
+	}
+	return d
+}
+
 // Submit expands the manifest and enqueues every cell. It returns
 // the tracking Sweep immediately; jobs run in the background.
 func (d *Dispatcher) Submit(spec SweepSpec) (*Sweep, error) {
+	if spec.Instances < 0 {
+		return nil, fmt.Errorf("lab: sweep %q has negative instances %d", spec.Name, spec.Instances)
+	}
 	jobs, err := spec.Expand()
 	if err != nil {
 		return nil, err
 	}
-	return d.SubmitJobs(spec.Name, jobs)
+	return d.submit(spec.Name, spec.Instances, jobs)
 }
 
-// SubmitJobs enqueues an explicit job list as one sweep.
+// SubmitJobs enqueues an explicit job list as one sweep with no
+// per-sweep instance cap.
 func (d *Dispatcher) SubmitJobs(name string, jobs []JobSpec) (*Sweep, error) {
+	return d.submit(name, 0, jobs)
+}
+
+// SubmitJobsN is SubmitJobs with a testground-style instances cap: at
+// most `instances` cells of the sweep run concurrently (0 = no cap).
+// The cap is a *request* — a smaller pool or fleet simply yields less
+// parallelism, never an error.
+func (d *Dispatcher) SubmitJobsN(name string, instances int, jobs []JobSpec) (*Sweep, error) {
+	return d.submit(name, instances, jobs)
+}
+
+func (d *Dispatcher) submit(name string, instances int, jobs []JobSpec) (*Sweep, error) {
 	if len(jobs) == 0 {
 		return nil, fmt.Errorf("lab: sweep %q expands to zero jobs", name)
+	}
+	if instances < 0 {
+		return nil, fmt.Errorf("lab: sweep %q has negative instances %d", name, instances)
 	}
 	d.mu.Lock()
 	if d.closed {
@@ -165,10 +276,14 @@ func (d *Dispatcher) SubmitJobs(name string, jobs []JobSpec) (*Sweep, error) {
 		return nil, fmt.Errorf("lab: dispatcher is closed")
 	}
 	d.nextID++
+	ctx, cancel := context.WithCancel(context.Background())
 	sw := &Sweep{
 		id:        fmt.Sprintf("s%d", d.nextID),
 		name:      name,
 		created:   time.Now().UTC(),
+		ctx:       ctx,
+		cancel:    cancel,
+		instances: instances,
 		remaining: len(jobs),
 		done:      make(chan struct{}),
 	}
@@ -194,6 +309,43 @@ func (d *Dispatcher) Sweep(id string) (*Sweep, bool) {
 	return sw, ok
 }
 
+// Cancel cancels a sweep: cells still queued (including those inside
+// a retry-backoff window) flip to cancelled immediately; cells
+// already running — or leased out to fleet workers — finish or expire
+// on their own, with context-aware runners (RemoteRunner) abandoning
+// their wait so the sweep converges without blocking on remote work.
+func (d *Dispatcher) Cancel(id string) (SweepStatus, error) {
+	d.mu.Lock()
+	sw, ok := d.sweeps[id]
+	if !ok {
+		d.mu.Unlock()
+		return SweepStatus{}, fmt.Errorf("lab: unknown sweep %q", id)
+	}
+	var dropped []dispJob
+	kept := d.queue[:0]
+	for _, q := range d.queue {
+		if q.sweep == sw {
+			dropped = append(dropped, q)
+		} else {
+			kept = append(kept, q)
+		}
+	}
+	d.queue = kept
+	d.mu.Unlock()
+
+	sw.mu.Lock()
+	already := sw.cancelled
+	sw.cancelled = true
+	sw.mu.Unlock()
+	if !already {
+		sw.cancel() // wake context-aware runners
+	}
+	for _, j := range dropped {
+		d.setStatus(j, JobCancelled, sw.jobs[j.idx].Attempts, "sweep cancelled")
+	}
+	return sw.Status(), nil
+}
+
 // Counts is the dispatcher-wide job accounting across every sweep,
 // plus whether the dispatcher still accepts submissions — the
 // readiness view /healthz and the bots_lab_* gauges expose.
@@ -204,6 +356,7 @@ type Counts struct {
 	Running   int  `json:"running"`
 	Done      int  `json:"done"`
 	Failed    int  `json:"failed"`
+	Cancelled int  `json:"cancelled"`
 }
 
 // Counts aggregates the job states of all sweeps. Like Sweep.Status
@@ -223,6 +376,7 @@ func (d *Dispatcher) Counts() Counts {
 		c.Running += st.Running
 		c.Done += st.Done
 		c.Failed += st.Failed
+		c.Cancelled += st.Cancelled
 	}
 	return c
 }
@@ -239,7 +393,9 @@ func (d *Dispatcher) Sweeps() []*Sweep {
 }
 
 // Close stops accepting submissions, drains the remaining queue, and
-// waits for in-flight jobs to finish.
+// waits for in-flight jobs to finish. Jobs waiting out a retry
+// backoff when Close is called fail at their scheduled time instead
+// of re-running.
 func (d *Dispatcher) Close() {
 	d.mu.Lock()
 	if d.closed {
@@ -252,36 +408,62 @@ func (d *Dispatcher) Close() {
 	d.wg.Wait()
 }
 
+// worker pops runnable jobs: the oldest queued cell whose sweep is
+// under its instances cap. Capped or empty, it parks on the cond var
+// until a finishing job or a fresh submission changes the picture.
 func (d *Dispatcher) worker() {
 	defer d.wg.Done()
 	for {
 		d.mu.Lock()
-		for len(d.queue) == 0 && !d.closed {
+		var job dispJob
+		found := false
+		for !found {
+			for i, q := range d.queue {
+				sw := q.sweep
+				if sw.instances > 0 && sw.inflight >= sw.instances {
+					continue
+				}
+				job = q
+				d.queue = append(d.queue[:i], d.queue[i+1:]...)
+				found = true
+				break
+			}
+			if found {
+				break
+			}
+			if d.closed && len(d.queue) == 0 {
+				d.mu.Unlock()
+				return
+			}
 			d.cond.Wait()
 		}
-		if len(d.queue) == 0 && d.closed {
-			d.mu.Unlock()
-			return
-		}
-		job := d.queue[0]
-		d.queue = d.queue[1:]
+		job.sweep.inflight++
 		d.mu.Unlock()
 		d.runJob(job)
+		d.mu.Lock()
+		job.sweep.inflight--
+		d.cond.Broadcast()
+		d.mu.Unlock()
 	}
 }
 
 // setStatus transitions one job and reports the new view; callbacks
 // fire outside the sweep lock.
 func (d *Dispatcher) setStatus(j dispJob, status JobStatus, attempts int, errMsg string) {
+	d.setStatusAt(j, status, attempts, errMsg, nil)
+}
+
+func (d *Dispatcher) setStatusAt(j dispJob, status JobStatus, attempts int, errMsg string, next *time.Time) {
 	sw := j.sweep
 	sw.mu.Lock()
 	v := &sw.jobs[j.idx]
 	v.Status = status
 	v.Attempts = attempts
 	v.Error = errMsg
+	v.NextAttempt = next
 	view := *v
 	finished := false
-	if status == JobDone || status == JobFailed {
+	if status == JobDone || status == JobFailed || status == JobCancelled {
 		sw.remaining--
 		finished = sw.remaining == 0
 	}
@@ -294,17 +476,62 @@ func (d *Dispatcher) setStatus(j dispJob, status JobStatus, attempts int, errMsg
 	}
 }
 
+// runJob runs one attempt. Failure with attempts left schedules a
+// re-enqueue after a jittered exponential backoff — the worker slot
+// is freed for the wait, so a flaky cell never blocks the pool.
 func (d *Dispatcher) runJob(j dispJob) {
-	spec := j.sweep.jobs[j.idx].Spec
-	var lastErr error
-	for attempt := 1; attempt <= d.retries+1; attempt++ {
-		d.setStatus(j, JobRunning, attempt, "")
-		_, err := d.runner.Run(spec)
-		if err == nil {
-			d.setStatus(j, JobDone, attempt, "")
-			return
-		}
-		lastErr = err
+	sw := j.sweep
+	sw.mu.Lock()
+	attempt := sw.jobs[j.idx].Attempts + 1
+	spec := sw.jobs[j.idx].Spec
+	cancelled := sw.cancelled
+	sw.mu.Unlock()
+	if cancelled {
+		d.setStatus(j, JobCancelled, attempt-1, "sweep cancelled")
+		return
 	}
-	d.setStatus(j, JobFailed, d.retries+1, lastErr.Error())
+
+	d.setStatus(j, JobRunning, attempt, "")
+	_, err := RunWithContext(sw.ctx, d.runner, spec)
+	if err == nil {
+		d.setStatus(j, JobDone, attempt, "")
+		return
+	}
+	if sw.isCancelled() || errors.Is(err, context.Canceled) {
+		d.setStatus(j, JobCancelled, attempt, "sweep cancelled")
+		return
+	}
+	if attempt >= d.retries+1 {
+		d.setStatus(j, JobFailed, attempt, err.Error())
+		return
+	}
+	delay := backoffDelay(d.RetryBase, d.RetryCap, attempt)
+	next := time.Now().Add(delay)
+	d.setStatusAt(j, JobQueued, attempt, err.Error(), &next)
+	time.AfterFunc(delay, func() { d.requeue(j) })
+}
+
+// requeue returns a backed-off job to the queue when its timer fires.
+// A sweep cancelled or a dispatcher closed in the meantime resolves
+// the job terminally instead.
+func (d *Dispatcher) requeue(j dispJob) {
+	sw := j.sweep
+	sw.mu.Lock()
+	attempts := sw.jobs[j.idx].Attempts
+	lastErr := sw.jobs[j.idx].Error
+	cancelled := sw.cancelled
+	sw.mu.Unlock()
+	if cancelled {
+		d.setStatus(j, JobCancelled, attempts, "sweep cancelled")
+		return
+	}
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		d.setStatus(j, JobFailed, attempts, lastErr+" (dispatcher closed before retry)")
+		return
+	}
+	d.queue = append(d.queue, j)
+	d.cond.Broadcast()
+	d.mu.Unlock()
 }

@@ -141,6 +141,129 @@ func TestDispatcherBoundsConcurrency(t *testing.T) {
 	}
 }
 
+// TestDispatcherRetryBackoff pins the retry schedule: a failed job
+// goes back to queued with its last error and a NextAttempt gate, and
+// the retry does not run before the backoff window elapses.
+func TestDispatcherRetryBackoff(t *testing.T) {
+	fake := &fakeRunner{}
+	fake.failN.Store(1)
+	d := lab.NewDispatcher(fake, 1, 1)
+	d.RetryBase = 200 * time.Millisecond
+	d.RetryCap = 200 * time.Millisecond
+	defer d.Close()
+	start := time.Now()
+	sw, err := d.SubmitJobs("backoff", []lab.JobSpec{testSpec("fib", 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Catch the job inside its backoff window: queued again, first
+	// attempt's error retained, retry time advertised.
+	sawGate := false
+	for !sawGate {
+		st := sw.Status()
+		j := st.Jobs[0]
+		if j.Status == lab.JobQueued && j.Attempts == 1 {
+			if j.Error == "" || j.NextAttempt == nil {
+				t.Fatalf("backed-off job missing error/next_attempt: %+v", j)
+			}
+			sawGate = true
+		}
+		if st.Finished() {
+			t.Fatal("sweep finished before the backoff window was observed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st := waitSweep(t, sw)
+	if st.Done != 1 || st.Jobs[0].Attempts != 2 {
+		t.Fatalf("final status = %+v", st)
+	}
+	// 200ms base with ±25% jitter: the retry can fire no earlier than
+	// 150ms after the first failure.
+	if elapsed := time.Since(start); elapsed < 150*time.Millisecond {
+		t.Fatalf("retry fired after %s, want >= 150ms of backoff", elapsed)
+	}
+	if j := st.Jobs[0]; j.NextAttempt != nil || j.Error != "" {
+		t.Fatalf("done job still carries retry state: %+v", j)
+	}
+}
+
+// TestDispatcherCancel cancels a sweep with cells in every pre-terminal
+// state: queued cells flip to cancelled immediately, running cells
+// finish normally, and the sweep lands in the cancelled state.
+func TestDispatcherCancel(t *testing.T) {
+	fake := &fakeRunner{block: make(chan struct{})}
+	d := lab.NewDispatcher(fake, 2, 0)
+	defer d.Close()
+	var jobs []lab.JobSpec
+	for i := 1; i <= 6; i++ {
+		jobs = append(jobs, testSpec("fib", i))
+	}
+	sw, err := d.SubmitJobs("doomed", jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sw.Status().Running != 2 {
+		time.Sleep(time.Millisecond)
+	}
+	st, err := d.Cancel(sw.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != lab.SweepCancelling || st.Cancelled != 4 {
+		t.Fatalf("status right after cancel = %+v", st)
+	}
+	close(fake.block) // let the two in-flight cells finish
+	final := waitSweep(t, sw)
+	if final.State != lab.SweepCancelled || final.Done != 2 || final.Cancelled != 4 || final.Failed != 0 {
+		t.Fatalf("final status = %+v", final)
+	}
+	if fake.calls.Load() != 2 {
+		t.Fatalf("executed %d cells after cancel, want 2", fake.calls.Load())
+	}
+	if _, err := d.Cancel("s999"); err == nil {
+		t.Fatal("cancelling an unknown sweep should fail")
+	}
+}
+
+// TestDispatcherInstancesCap pins the testground-style instances
+// knob: a sweep asking for 2 instances never has more than 2 cells in
+// flight even on a larger pool, and still completes.
+func TestDispatcherInstancesCap(t *testing.T) {
+	fake := &fakeRunner{block: make(chan struct{})}
+	d := lab.NewDispatcher(fake, 4, 0)
+	defer d.Close()
+	var jobs []lab.JobSpec
+	for i := 1; i <= 8; i++ {
+		jobs = append(jobs, testSpec("fib", i))
+	}
+	sw, err := d.SubmitJobsN("capped", 2, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Status().Instances != 2 {
+		t.Fatalf("status instances = %d, want 2", sw.Status().Instances)
+	}
+	for sw.Status().Running != 2 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond) // give the pool a chance to overshoot
+	if got := fake.inflight.Load(); got != 2 {
+		t.Fatalf("%d cells in flight under an instances=2 cap", got)
+	}
+	close(fake.block)
+	st := waitSweep(t, sw)
+	if st.Done != 8 {
+		t.Fatalf("final status = %+v", st)
+	}
+	if got := fake.maxInfl.Load(); got > 2 {
+		t.Fatalf("observed %d concurrent cells, cap was 2", got)
+	}
+	// An uncapped sibling on the same pool uses all four workers.
+	if _, err := d.SubmitJobsN("neg", -1, jobs); err == nil {
+		t.Fatal("negative instances should fail at submit")
+	}
+}
+
 func TestDispatcherRejectsAfterClose(t *testing.T) {
 	d := lab.NewDispatcher(&fakeRunner{}, 1, 0)
 	d.Close()

@@ -1,6 +1,7 @@
 package lab
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -95,6 +96,19 @@ func simParams(b *core.Benchmark, seq *core.SeqResult, spec JobSpec) sim.Params 
 func analysisOf(tr *trace.Trace) *trace.Analysis {
 	a := trace.Analyze(tr)
 	return &a
+}
+
+// ExecuteContext is Execute with a cancellation point at the top: a
+// cell cancelled while queued never starts its recording run. A run
+// already in flight is never interrupted — a Record is all-or-nothing
+// (a half-measured cell would poison the content-addressed store), so
+// cancellation mid-execution means the result is completed and then
+// discarded by the caller.
+func (e *Executor) ExecuteContext(ctx context.Context, spec JobSpec) (*Record, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return e.Execute(spec)
 }
 
 // Execute runs one experiment cell end to end. A verification

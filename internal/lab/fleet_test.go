@@ -1,0 +1,255 @@
+package lab_test
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bots/internal/lab"
+)
+
+// fakeClock is a hand-advanced time source; with it the fleet runs no
+// background expiry ticker, so tests drive ExpireDue deterministically.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func testFleet(t *testing.T, clock *fakeClock, store *lab.Store) *lab.Fleet {
+	t.Helper()
+	f := lab.NewFleet(lab.FleetConfig{
+		LeaseTTL:    10 * time.Second,
+		MaxAttempts: 3,
+		RetryBase:   time.Millisecond, // keep re-dispatch gates tiny vs. Advance steps
+		RetryCap:    2 * time.Millisecond,
+		Store:       store,
+		Clock:       clock.Now,
+	})
+	t.Cleanup(f.Close)
+	return f
+}
+
+func fakeRecordFor(spec lab.JobSpec, worker string) *lab.Record {
+	spec = spec.Normalize()
+	r := &lab.Record{Key: spec.Key(), Spec: spec, Verified: true, Tasks: 1}
+	r.Host.Worker = worker
+	return r
+}
+
+func waitTicket(t *testing.T, ticket *lab.FleetTicket) (*lab.Record, error) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return ticket.Wait(ctx)
+}
+
+func TestFleetLeaseGrantAndComplete(t *testing.T) {
+	clock := newFakeClock()
+	f := testFleet(t, clock, nil)
+	w := f.Register("alpha", 2)
+
+	ticket := f.Enqueue(testSpec("fib", 2))
+	leases, err := f.Lease(w, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leases) != 1 {
+		t.Fatalf("got %d leases, want 1", len(leases))
+	}
+	l := leases[0]
+	if l.Attempt != 1 || l.Key != testSpec("fib", 2).Key() {
+		t.Fatalf("lease = %+v", l)
+	}
+	if want := clock.Now().Add(10 * time.Second); !l.Deadline.Equal(want) {
+		t.Fatalf("deadline = %v, want %v", l.Deadline, want)
+	}
+
+	f.Complete(l.ID, fakeRecordFor(l.Spec, "alpha"), "")
+	rec, err := waitTicket(t, ticket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Host.Worker != "alpha" {
+		t.Fatalf("worker provenance = %q, want alpha", rec.Host.Worker)
+	}
+	st := f.Status()
+	if st.LeasesGranted != 1 || st.LeasesActive != 0 || st.JobsCompleted != 1 {
+		t.Fatalf("status = %+v", st)
+	}
+	if st.Workers[0].Done != 1 || st.Workers[0].State != lab.WorkerIdle {
+		t.Fatalf("worker view = %+v", st.Workers[0])
+	}
+}
+
+func TestFleetHeartbeatRenewsDeadline(t *testing.T) {
+	clock := newFakeClock()
+	f := testFleet(t, clock, nil)
+	w := f.Register("alpha", 1)
+	ticket := f.Enqueue(testSpec("fib", 1))
+	leases, _ := f.Lease(w, 1)
+
+	// 8s in (deadline at 10s), a heartbeat pushes the deadline out.
+	clock.Advance(8 * time.Second)
+	renewed, lost, err := f.Heartbeat(w, []lab.HeartbeatProgress{{ID: leases[0].ID, ElapsedNS: int64(8 * time.Second)}})
+	if err != nil || len(renewed) != 1 || len(lost) != 0 {
+		t.Fatalf("heartbeat = %v %v %v", renewed, lost, err)
+	}
+	// Another 8s: past the original deadline but inside the renewal.
+	clock.Advance(8 * time.Second)
+	if n := f.ExpireDue(); n != 0 {
+		t.Fatalf("expired %d leases after renewal, want 0", n)
+	}
+	// 10 more seconds without a heartbeat: now it expires.
+	clock.Advance(10 * time.Second)
+	if n := f.ExpireDue(); n != 1 {
+		t.Fatalf("expired %d leases, want 1", n)
+	}
+	// The job is back in the queue for another worker.
+	clock.Advance(time.Second)
+	leases2, _ := f.Lease(w, 1)
+	if len(leases2) != 1 || leases2[0].Attempt != 2 {
+		t.Fatalf("re-dispatch leases = %+v", leases2)
+	}
+	f.Complete(leases2[0].ID, fakeRecordFor(leases2[0].Spec, "alpha"), "")
+	if _, err := waitTicket(t, ticket); err != nil {
+		t.Fatal(err)
+	}
+	st := f.Status()
+	if st.LeasesExpired != 1 || st.JobsRedispatched != 1 {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+func TestFleetFailureRetryBackoffAndExhaustion(t *testing.T) {
+	clock := newFakeClock()
+	f := testFleet(t, clock, nil)
+	w := f.Register("alpha", 1)
+	ticket := f.Enqueue(testSpec("fib", 1))
+
+	for attempt := 1; attempt <= 3; attempt++ {
+		// The retry backoff gates the job: immediately after a failure
+		// the queue offers nothing.
+		leases, err := f.Lease(w, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if attempt > 1 && len(leases) == 0 {
+			t.Fatalf("attempt %d: job still gated after backoff window", attempt)
+		}
+		if len(leases) != 1 {
+			t.Fatalf("attempt %d: got %d leases", attempt, len(leases))
+		}
+		if leases[0].Attempt != attempt {
+			t.Fatalf("lease attempt = %d, want %d", leases[0].Attempt, attempt)
+		}
+		f.Complete(leases[0].ID, nil, "bench exploded")
+		if attempt < 3 {
+			if got, _ := f.Lease(w, 1); len(got) != 0 {
+				t.Fatalf("attempt %d: leased again inside backoff window", attempt)
+			}
+			clock.Advance(50 * time.Millisecond) // well past the tiny RetryCap
+		}
+	}
+	_, err := waitTicket(t, ticket)
+	if err == nil || !strings.Contains(err.Error(), "after 3 lease attempts") {
+		t.Fatalf("err = %v, want attempts-exhausted failure", err)
+	}
+	st := f.Status()
+	if st.JobsFailed != 1 || st.JobsRedispatched != 2 {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+func TestFleetAbandonAndOrphanResult(t *testing.T) {
+	clock := newFakeClock()
+	store, err := lab.OpenStore(filepath.Join(t.TempDir(), "lab.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	f := testFleet(t, clock, store)
+	w := f.Register("alpha", 1)
+
+	// Abandon while queued: the job vanishes from the queue.
+	queued := f.Enqueue(testSpec("fib", 1))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := queued.Wait(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if leases, _ := f.Lease(w, 1); len(leases) != 0 {
+		t.Fatalf("abandoned job still leased: %+v", leases)
+	}
+
+	// Abandon while leased: the worker's record becomes a store-bound
+	// orphan instead of being thrown away.
+	leased := f.Enqueue(testSpec("fib", 2))
+	leases, _ := f.Lease(w, 1)
+	if len(leases) != 1 {
+		t.Fatalf("got %d leases, want 1", len(leases))
+	}
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if _, err := leased.Wait(ctx2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	f.Complete(leases[0].ID, fakeRecordFor(leases[0].Spec, "alpha"), "")
+	if _, ok := store.Get(testSpec("fib", 2).Key()); !ok {
+		t.Fatal("orphan record did not land in the store")
+	}
+	if st := f.Status(); st.OrphanResults != 1 {
+		t.Fatalf("orphans = %d, want 1", st.OrphanResults)
+	}
+
+	// A completion for a lease the fleet no longer knows (expired and
+	// forgotten) still delivers its record to the store.
+	f.Complete("l-unknown", fakeRecordFor(testSpec("fib", 4), "alpha"), "")
+	if _, ok := store.Get(testSpec("fib", 4).Key()); !ok {
+		t.Fatal("unknown-lease record did not land in the store")
+	}
+}
+
+func TestFleetUnknownWorker(t *testing.T) {
+	clock := newFakeClock()
+	f := testFleet(t, clock, nil)
+	if _, err := f.Lease("w999", 1); !errors.Is(err, lab.ErrUnknownWorker) {
+		t.Fatalf("lease err = %v, want ErrUnknownWorker", err)
+	}
+	if _, _, err := f.Heartbeat("w999", nil); !errors.Is(err, lab.ErrUnknownWorker) {
+		t.Fatalf("heartbeat err = %v, want ErrUnknownWorker", err)
+	}
+	// Deregistering a live worker expires its leases back to the queue.
+	w := f.Register("alpha", 1)
+	f.Enqueue(testSpec("fib", 1))
+	if leases, _ := f.Lease(w, 1); len(leases) != 1 {
+		t.Fatalf("got %d leases", len(leases))
+	}
+	f.Deregister(w)
+	if _, err := f.Lease(w, 1); !errors.Is(err, lab.ErrUnknownWorker) {
+		t.Fatalf("post-deregister lease err = %v, want ErrUnknownWorker", err)
+	}
+	st := f.Status()
+	if len(st.Workers) != 0 || st.LeasesExpired != 1 || st.QueueDepth == 0 {
+		t.Fatalf("status = %+v", st)
+	}
+}

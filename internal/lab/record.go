@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"runtime/debug"
 	"time"
@@ -20,6 +21,13 @@ type HostInfo struct {
 	Arch      string `json:"arch"`
 	CPUs      int    `json:"cpus"`
 	GoVersion string `json:"go_version"`
+	// Hostname is the measuring machine's name, when resolvable.
+	Hostname string `json:"hostname,omitempty"`
+	// Worker is the fleet worker that executed the cell ("" for
+	// in-process runs). With Hostname and Commit it keeps cross-host
+	// sweep results honest: every record says who measured it, where,
+	// at which revision.
+	Worker string `json:"worker,omitempty"`
 	// Commit is the VCS revision of the binary, when the build
 	// embedded one.
 	Commit string `json:"commit,omitempty"`
@@ -32,6 +40,9 @@ func CurrentHost() HostInfo {
 		Arch:      runtime.GOARCH,
 		CPUs:      runtime.NumCPU(),
 		GoVersion: runtime.Version(),
+	}
+	if name, err := os.Hostname(); err == nil {
+		h.Hostname = name
 	}
 	if info, ok := debug.ReadBuildInfo(); ok {
 		for _, s := range info.Settings {

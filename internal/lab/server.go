@@ -32,6 +32,10 @@ type RenderFunc func(w io.Writer, figure string, class core.Class, threads []int
 type Server struct {
 	Disp  *Dispatcher
 	Store *Store
+	// Fleet, when non-nil, enables the coordinator endpoints (worker
+	// registration, leases, heartbeats, results). Without it the fleet
+	// routes answer 503: the server is deliberately local-only.
+	Fleet *Fleet
 	// Render, when non-nil, backs GET /report/{figure}.
 	Render RenderFunc
 	// PollInterval is the status-streaming poll period (default 100ms).
@@ -52,12 +56,24 @@ type Server struct {
 //	GET  /sweeps              list sweep statuses
 //	GET  /sweeps/{id}         one sweep's status; ?follow=true streams
 //	                          NDJSON snapshots until the sweep finishes
+//	DELETE /sweeps/{id}       cancel: queued cells flip to cancelled,
+//	                          running/leased cells finish or expire
 //	GET  /results             records, filterable by bench/version/
 //	                          class/threads/key/verified
 //	GET  /report/{figure}     render a report artifact from the store
 //	GET  /healthz             liveness + readiness (store/dispatcher counts)
 //	GET  /metrics             Prometheus text exposition (Obs registry)
 //	GET  /debug/pprof/...     net/http/pprof profiles
+//
+// Fleet coordinator routes (503 unless the server has a Fleet):
+//
+//	POST /workers/register    {name, capacity} → {worker_id, lease_ttl_ns}
+//	POST /workers/deregister  {worker_id}
+//	POST /leases              {worker_id, max} → {leases: [Lease...]}
+//	POST /heartbeats          {worker_id, leases: [{id, elapsed_ns}...]}
+//	                          → {renewed, lost}
+//	POST /results             {lease_id, record, error}
+//	GET  /workers             FleetStatus snapshot
 func (s *Server) Handler() http.Handler {
 	s.obsOnce.Do(func() {
 		if s.Obs == nil {
@@ -69,7 +85,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /sweeps", s.handleSubmit)
 	mux.HandleFunc("GET /sweeps", s.handleListSweeps)
 	mux.HandleFunc("GET /sweeps/{id}", s.handleSweep)
+	mux.HandleFunc("DELETE /sweeps/{id}", s.handleCancelSweep)
 	mux.HandleFunc("GET /results", s.handleResults)
+	mux.HandleFunc("POST /workers/register", s.fleetHandler(s.handleWorkerRegister))
+	mux.HandleFunc("POST /workers/deregister", s.fleetHandler(s.handleWorkerDeregister))
+	mux.HandleFunc("GET /workers", s.fleetHandler(s.handleWorkers))
+	mux.HandleFunc("POST /leases", s.fleetHandler(s.handleLeases))
+	mux.HandleFunc("POST /heartbeats", s.fleetHandler(s.handleHeartbeats))
+	mux.HandleFunc("POST /results", s.fleetHandler(s.handleResult))
 	mux.HandleFunc("GET /report/{figure}", s.handleReport)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.Handle("GET /metrics", s.Obs.Handler())
@@ -108,6 +131,7 @@ func (s *Server) registerObs(reg *obs.Registry) {
 		{"running", func(c Counts) int { return c.Running }},
 		{"done", func(c Counts) int { return c.Done }},
 		{"failed", func(c Counts) int { return c.Failed }},
+		{"cancelled", func(c Counts) int { return c.Cancelled }},
 	} {
 		st := st
 		reg.GaugeFunc("bots_lab_jobs", "Dispatcher jobs by state.",
@@ -118,6 +142,137 @@ func (s *Server) registerObs(reg *obs.Registry) {
 				return float64(st.sel(s.Disp.Counts()))
 			}, obs.Label{Name: "state", Value: st.name})
 	}
+	if s.Fleet == nil {
+		return
+	}
+	// Fleet observability rides the same scrape-time-closure idiom as
+	// the rest: each sample is one Fleet.Status() snapshot.
+	for _, ws := range []string{WorkerIdle, WorkerBusy, WorkerDead} {
+		ws := ws
+		reg.GaugeFunc("bots_lab_workers", "Registered fleet workers by state.",
+			func() float64 {
+				return float64(s.Fleet.Status().WorkersByState()[ws])
+			}, obs.Label{Name: "state", Value: ws})
+	}
+	reg.GaugeFunc("bots_lab_leases_active", "Fleet leases currently outstanding.",
+		func() float64 { return float64(s.Fleet.Status().LeasesActive) })
+	reg.CounterFunc("bots_lab_leases_granted_total", "Fleet leases handed out since start.",
+		func() float64 { return float64(s.Fleet.Status().LeasesGranted) })
+	reg.CounterFunc("bots_lab_leases_expired_total", "Fleet leases lost to a missed deadline.",
+		func() float64 { return float64(s.Fleet.Status().LeasesExpired) })
+	reg.CounterFunc("bots_lab_jobs_redispatched_total", "Fleet jobs returned to the queue for another lease.",
+		func() float64 { return float64(s.Fleet.Status().JobsRedispatched) })
+}
+
+// fleetHandler gates a coordinator route on the fleet being enabled.
+func (s *Server) fleetHandler(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.Fleet == nil {
+			httpError(w, http.StatusServiceUnavailable, "lab: this server runs without a fleet (start with -fleet)")
+			return
+		}
+		h(w, r)
+	}
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		httpError(w, http.StatusBadRequest, "lab: decoding request body: %v", err)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleWorkerRegister(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Name     string `json:"name"`
+		Capacity int    `json:"capacity"`
+	}
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Name == "" {
+		httpError(w, http.StatusBadRequest, "lab: worker registration needs a name")
+		return
+	}
+	id := s.Fleet.Register(req.Name, req.Capacity)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"worker_id":    id,
+		"lease_ttl_ns": s.Fleet.LeaseTTL().Nanoseconds(),
+	})
+}
+
+func (s *Server) handleWorkerDeregister(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		WorkerID string `json:"worker_id"`
+	}
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	s.Fleet.Deregister(req.WorkerID)
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Fleet.Status())
+}
+
+func (s *Server) handleLeases(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		WorkerID string `json:"worker_id"`
+		Max      int    `json:"max"`
+	}
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	leases, err := s.Fleet.Lease(req.WorkerID, req.Max)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	if leases == nil {
+		leases = []Lease{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"leases": leases})
+}
+
+func (s *Server) handleHeartbeats(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		WorkerID string              `json:"worker_id"`
+		Leases   []HeartbeatProgress `json:"leases"`
+	}
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	renewed, lost, err := s.Fleet.Heartbeat(req.WorkerID, req.Leases)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	if renewed == nil {
+		renewed = []string{}
+	}
+	if lost == nil {
+		lost = []string{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"renewed": renewed, "lost": lost})
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		LeaseID string  `json:"lease_id"`
+		Record  *Record `json:"record"`
+		Error   string  `json:"error"`
+	}
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.LeaseID == "" {
+		httpError(w, http.StatusBadRequest, "lab: result needs a lease_id")
+		return
+	}
+	s.Fleet.Complete(req.LeaseID, req.Record, req.Error)
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 }
 
 // handleHealthz reports liveness plus readiness: a fleet probe needs
@@ -140,10 +295,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"records": records,
 		"sweeps":  c.Sweeps,
 		"jobs": map[string]int{
-			"queued":  c.Queued,
-			"running": c.Running,
-			"done":    c.Done,
-			"failed":  c.Failed,
+			"queued":    c.Queued,
+			"running":   c.Running,
+			"done":      c.Done,
+			"failed":    c.Failed,
+			"cancelled": c.Cancelled,
 		},
 	})
 }
@@ -221,11 +377,26 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 		st := sw.Status()
 		if st.Queued != last.Queued || st.Running != last.Running ||
-			st.Done != last.Done || st.Failed != last.Failed {
+			st.Done != last.Done || st.Failed != last.Failed ||
+			st.Cancelled != last.Cancelled || st.State != last.State {
 			emit(st)
 		}
 		last = st
 	}
+}
+
+// handleCancelSweep is DELETE /sweeps/{id}: queued cells (including
+// those waiting out a retry backoff) flip to cancelled immediately;
+// cells already running or leased to fleet workers finish or expire on
+// their own. A follower streaming ?follow=true sees a terminal
+// snapshot with state "cancelled" once the last straggler resolves.
+func (s *Server) handleCancelSweep(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Disp.Cancel(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {

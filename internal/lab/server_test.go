@@ -314,6 +314,77 @@ func TestServerObservability(t *testing.T) {
 	}
 }
 
+// TestServerCancelSweep drives DELETE /sweeps/{id} over HTTP with a
+// blockable runner: queued cells cancel immediately, running cells
+// drain, and a ?follow=true stream ends on a terminal cancelled
+// snapshot.
+func TestServerCancelSweep(t *testing.T) {
+	fake := &fakeRunner{block: make(chan struct{})}
+	disp := lab.NewDispatcher(fake, 1, 0)
+	srv := &lab.Server{Disp: disp, PollInterval: 5 * time.Millisecond}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		disp.Close()
+	})
+
+	sw, err := disp.SubmitJobs("victim", []lab.JobSpec{testSpec("fib", 1), testSpec("fib", 2), testSpec("fib", 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sw.Status().Running != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	follow, err := http.Get(fmt.Sprintf("%s/sweeps/%s?follow=true", ts.URL, sw.ID()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follow.Body.Close()
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/sweeps/"+sw.ID(), nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cancelled lab.SweepStatus
+	if err := json.NewDecoder(resp.Body).Decode(&cancelled); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE status = %d", resp.StatusCode)
+	}
+	if cancelled.State != lab.SweepCancelling || cancelled.Cancelled != 2 {
+		t.Fatalf("DELETE response = %+v", cancelled)
+	}
+	close(fake.block) // release the one running cell
+
+	// The follow stream must terminate with a cancelled snapshot.
+	var last lab.SweepStatus
+	sc := bufio.NewScanner(follow.Body)
+	for sc.Scan() {
+		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+			t.Fatalf("bad NDJSON line: %v\n%s", err, sc.Text())
+		}
+	}
+	if last.State != lab.SweepCancelled || !last.Finished() {
+		t.Fatalf("final streamed status = %+v", last)
+	}
+	if last.Done != 1 || last.Cancelled != 2 {
+		t.Fatalf("final counts = %+v", last)
+	}
+
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/sweeps/s999", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("DELETE unknown sweep status = %d, want 404", resp.StatusCode)
+	}
+}
+
 // findSweep fetches one sweep's status by id, reporting existence.
 func findSweep(ts *httptest.Server, t *testing.T, id string) (lab.SweepStatus, bool) {
 	t.Helper()

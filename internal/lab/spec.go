@@ -182,6 +182,12 @@ func (j JobSpec) Validate() error {
 type SweepSpec struct {
 	// Name labels the sweep in status output.
 	Name string `json:"name,omitempty"`
+	// Instances is the testground-style worker-count wish: at most this
+	// many cells of the sweep run concurrently (0 = no per-sweep cap).
+	// It is a request, not a reservation — when the pool or the fleet
+	// has fewer workers than asked for, the sweep degrades gracefully
+	// to the parallelism actually available instead of erroring.
+	Instances int `json:"instances,omitempty"`
 	// Benches lists benchmark names; the keywords "paper", "extensions"
 	// and "all" expand to the corresponding registry sets.
 	Benches []string `json:"benches"`
