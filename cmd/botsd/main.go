@@ -10,13 +10,23 @@
 //
 // SIGTERM/SIGINT drains gracefully: the daemon stops taking leases,
 // finishes what it holds, delivers those results, deregisters, and
-// exits 0.
+// exits 0. A coordinator that is not up yet is retried with backoff
+// (-startup-retries); SIGTERM during that wait also exits 0.
+//
+// The -chaos-* flags route the daemon's coordinator traffic through
+// the internal/chaos fault injector (DESIGN.md §14) — deterministic,
+// seeded latency, drops, and clock offset for resilience experiments:
+//
+//	botsd -coordinator http://host:8080 \
+//	  -chaos-latency 500ms -chaos-jitter 150ms -chaos-drop 0.1 -chaos-seed 7
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -24,7 +34,9 @@ import (
 	"time"
 
 	_ "bots/internal/apps/all"
+	"bots/internal/chaos"
 	"bots/internal/lab"
+	"bots/internal/obs"
 )
 
 func main() {
@@ -34,25 +46,70 @@ func main() {
 	}
 	defaultName = fmt.Sprintf("%s-%d", defaultName, os.Getpid())
 	var (
-		coordinator = flag.String("coordinator", "http://localhost:8080", "botslab coordinator base URL")
-		name        = flag.String("name", defaultName, "worker name recorded in result provenance")
-		capacity    = flag.Int("capacity", runtime.NumCPU(), "max concurrently executing leases")
-		poll        = flag.Duration("poll", 250*time.Millisecond, "idle lease-poll interval")
+		coordinator    = flag.String("coordinator", "http://localhost:8080", "botslab coordinator base URL")
+		name           = flag.String("name", defaultName, "worker name recorded in result provenance")
+		capacity       = flag.Int("capacity", runtime.NumCPU(), "max concurrently executing leases")
+		poll           = flag.Duration("poll", 250*time.Millisecond, "idle lease-poll interval")
+		requestTimeout = flag.Duration("request-timeout", 5*time.Second, "per-request coordinator timeout")
+		wireRetries    = flag.Int("wire-retries", 2, "retries per coordinator request on transport errors and 5xx (never 4xx)")
+		startupRetries = flag.Int("startup-retries", 5, "registration retries (with backoff) while the coordinator is unreachable at startup")
+		metricsAddr    = flag.String("metrics-addr", "", "address to serve /metrics on (e.g. :9091); empty = no metrics endpoint")
+
+		chaosLatency = flag.Duration("chaos-latency", 0, "inject this base latency into every coordinator request")
+		chaosJitter  = flag.Duration("chaos-jitter", 0, "uniform ± jitter on the injected latency")
+		chaosDrop    = flag.Float64("chaos-drop", 0, "probability [0,1] a coordinator request or response is dropped")
+		chaosSeed    = flag.Int64("chaos-seed", 1, "seed for the chaos injector's deterministic fault sequence")
+		chaosOffset  = flag.Duration("chaos-clock-offset", 0, "skew this worker's clock by the given offset")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
-	w := &lab.WorkerClient{
-		Coordinator: *coordinator,
-		Name:        *name,
-		Capacity:    *capacity,
-		Poll:        *poll,
-		Logf: func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, "botsd[%s]: %s\n", *name, fmt.Sprintf(format, args...))
-		},
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "botsd[%s]: %s\n", *name, fmt.Sprintf(format, args...))
 	}
+	w := &lab.WorkerClient{
+		Coordinator:    *coordinator,
+		Name:           *name,
+		Capacity:       *capacity,
+		Poll:           *poll,
+		RequestTimeout: *requestTimeout,
+		WireRetries:    *wireRetries,
+		StartupRetries: *startupRetries,
+		Logf:           logf,
+	}
+
+	if *chaosLatency > 0 || *chaosJitter > 0 || *chaosDrop > 0 {
+		inj := chaos.New(chaos.Config{
+			Seed:     *chaosSeed,
+			Latency:  *chaosLatency,
+			Jitter:   *chaosJitter,
+			DropRate: *chaosDrop,
+		})
+		w.Client = &http.Client{Transport: inj.Transport(nil)}
+		logf("chaos wire enabled: latency=%s±%s drop=%.2f seed=%d", *chaosLatency, *chaosJitter, *chaosDrop, *chaosSeed)
+	}
+	if *chaosOffset != 0 {
+		w.Clock = chaos.OffsetClock(nil, *chaosOffset)
+		logf("chaos clock enabled: offset=%s", *chaosOffset)
+	}
+
+	if *metricsAddr != "" {
+		reg := obs.NewRegistry()
+		obs.RegisterRuntimeMetrics(reg)
+		w.RegisterObs(reg)
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "botsd:", err)
+			os.Exit(1)
+		}
+		logf("metrics on http://%s/metrics", ln.Addr())
+		go http.Serve(ln, mux)
+	}
+
 	if err := w.Run(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "botsd:", err)
 		os.Exit(1)

@@ -56,6 +56,7 @@ func main() {
 		fleet       = flag.Bool("fleet", false, "dispatch cache misses to registered botsd workers instead of executing in-process (requires -serve)")
 		leaseTTL    = flag.Duration("lease-ttl", 10*time.Second, "fleet lease lifetime without a heartbeat")
 		maxAttempts = flag.Int("max-attempts", 3, "fleet lease attempts per job before it fails")
+		journalPath = flag.String("journal", "", "fleet write-ahead journal for coordinator crash recovery (default <store>.journal with -fleet; 'off' disables)")
 	)
 	flag.Parse()
 	if *manifest == "" && *serve == "" {
@@ -70,6 +71,24 @@ func main() {
 	store, err := lab.OpenStore(*storePath)
 	fatal(err)
 	defer store.Close()
+	if rep := store.TornTail(); rep != nil {
+		fmt.Fprintf(os.Stderr, "botslab: store %s recovered from a crash: %s\n", *storePath, rep.Reason)
+	}
+
+	// The write-ahead journal makes a -fleet coordinator restartable:
+	// it records sweep submissions and terminal cell outcomes, and a
+	// fresh process replays it to resubmit whatever never finished.
+	var journal *lab.Journal
+	var recovery *lab.Recovery
+	jPath := *journalPath
+	if jPath == "" && *fleet && *storePath != "" {
+		jPath = *storePath + ".journal"
+	}
+	if jPath != "" && jPath != "off" {
+		journal, recovery, err = lab.OpenJournal(jPath)
+		fatal(err)
+		defer journal.Close()
+	}
 
 	// The runner chain decides where a cache miss executes: in-process
 	// (DirectRunner) or leased out to the fleet (RemoteRunner). Either
@@ -83,6 +102,7 @@ func main() {
 			LeaseTTL:    *leaseTTL,
 			MaxAttempts: *maxAttempts,
 			Store:       store,
+			Journal:     journal,
 		})
 		defer coord.Close()
 		next = lab.NewRemoteRunner(coord)
@@ -99,7 +119,20 @@ func main() {
 	}
 	runner := lab.NewCachedRunner(store, next)
 	disp := lab.NewDispatcher(runner, poolSize, *retries)
+	disp.Journal = journal
 	defer disp.Close()
+
+	if recovery != nil && recovery.Events > 0 {
+		fmt.Fprintf(os.Stderr, "botslab: journal %s replayed %d events (%d grants, %d completions)\n",
+			jPath, recovery.Events, recovery.Grants, recovery.Completions)
+	}
+	if recovery != nil {
+		sweeps, cells, err := disp.Resume(recovery)
+		fatal(err)
+		if sweeps > 0 {
+			fmt.Fprintf(os.Stderr, "botslab: resumed %d unfinished sweep(s), %d cell(s) resubmitted\n", sweeps, cells)
+		}
+	}
 
 	// The server starts before any -manifest run: a fleet sweep needs
 	// the registration/lease endpoints up so workers can join, and a

@@ -1,0 +1,235 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestDeterministicDecisions pins the replayability contract: two
+// injectors with the same seed draw the identical (delay, drop) fate
+// sequence; a different seed diverges.
+func TestDeterministicDecisions(t *testing.T) {
+	cfg := Config{Seed: 42, Latency: 10 * time.Millisecond, Jitter: 5 * time.Millisecond, DropRate: 0.3}
+	a, b := New(cfg), New(cfg)
+	diverged := false
+	other := New(Config{Seed: 43, Latency: 10 * time.Millisecond, Jitter: 5 * time.Millisecond, DropRate: 0.3})
+	for i := 0; i < 200; i++ {
+		da, db, dc := a.decide(), b.decide(), other.decide()
+		if da != db {
+			t.Fatalf("decision %d: same seed diverged: %+v vs %+v", i, da, db)
+		}
+		if da != dc {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("a different seed never changed a decision in 200 draws")
+	}
+}
+
+func TestDecideDelayBounds(t *testing.T) {
+	i := New(Config{Seed: 1, Latency: 100 * time.Millisecond, Jitter: 30 * time.Millisecond})
+	for n := 0; n < 1000; n++ {
+		d := i.decide()
+		if d.delay < 70*time.Millisecond || d.delay > 130*time.Millisecond {
+			t.Fatalf("delay %v outside 100ms ± 30ms", d.delay)
+		}
+		if d.dropRequest || d.dropResponse {
+			t.Fatal("drop decided with DropRate 0")
+		}
+	}
+}
+
+func TestDropRateSplitsSides(t *testing.T) {
+	i := New(Config{Seed: 7, DropRate: 0.5})
+	var req, resp int
+	for n := 0; n < 2000; n++ {
+		d := i.decide()
+		if d.dropRequest {
+			req++
+		}
+		if d.dropResponse {
+			resp++
+		}
+	}
+	total := req + resp
+	if total < 800 || total > 1200 {
+		t.Fatalf("dropped %d of 2000 at rate 0.5", total)
+	}
+	if req == 0 || resp == 0 {
+		t.Fatalf("drop sides not both exercised: request=%d response=%d", req, resp)
+	}
+}
+
+func newEchoServer(t *testing.T) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var served atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		fmt.Fprint(w, "ok")
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &served
+}
+
+// TestTransportOneWayPartition pins the nasty case: the server
+// processes the request, the caller gets an error.
+func TestTransportOneWayPartition(t *testing.T) {
+	ts, served := newEchoServer(t)
+	inj := New(Config{Seed: 1})
+	client := &http.Client{Transport: inj.Transport(nil)}
+
+	if _, err := client.Get(ts.URL); err != nil {
+		t.Fatalf("pre-partition request failed: %v", err)
+	}
+	inj.SetPartition(PartitionOneWay)
+	if _, err := client.Get(ts.URL); err == nil {
+		t.Fatal("one-way partition returned a response")
+	}
+	if served.Load() != 2 {
+		t.Fatalf("server saw %d requests, want 2 (one-way delivers the request)", served.Load())
+	}
+	inj.SetPartition(PartitionTwoWay)
+	if _, err := client.Get(ts.URL); err == nil {
+		t.Fatal("two-way partition returned a response")
+	}
+	if served.Load() != 2 {
+		t.Fatalf("server saw %d requests, want 2 (two-way must not deliver)", served.Load())
+	}
+	inj.Heal()
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("post-heal request failed: %v", err)
+	}
+	resp.Body.Close()
+	st := inj.Stats()
+	if st.Partitioned != 2 || st.Requests != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestTransportDelayHonorsContext(t *testing.T) {
+	ts, _ := newEchoServer(t)
+	inj := New(Config{Seed: 1, Latency: 10 * time.Second})
+	client := &http.Client{Transport: inj.Transport(nil)}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL, nil)
+	start := time.Now()
+	_, err := client.Do(req)
+	if err == nil {
+		t.Fatal("10s injected delay beat a 50ms deadline")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatalf("cancellation took %v, delay not context-aware", time.Since(start))
+	}
+}
+
+func TestTransportDropsAreErrors(t *testing.T) {
+	ts, served := newEchoServer(t)
+	inj := New(Config{Seed: 3, DropRate: 1})
+	client := &http.Client{Transport: inj.Transport(nil)}
+	var failed int
+	for n := 0; n < 20; n++ {
+		if _, err := client.Get(ts.URL); err != nil {
+			failed++
+		}
+	}
+	if failed != 20 {
+		t.Fatalf("%d of 20 requests failed at DropRate 1, want all", failed)
+	}
+	st := inj.Stats()
+	if st.DroppedRequests+st.DroppedResponses != 20 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Response-side drops reached the server; request-side did not.
+	if served.Load() != st.DroppedResponses {
+		t.Fatalf("server saw %d requests, want %d (= response-side drops)", served.Load(), st.DroppedResponses)
+	}
+}
+
+// TestProxyForwardsAndPartitions drives HTTP through the TCP proxy:
+// clean pass-through, then a two-way partition stalling a request
+// until healed.
+func TestProxyForwardsAndPartitions(t *testing.T) {
+	ts, _ := newEchoServer(t)
+	inj := New(Config{Seed: 5})
+	p, err := NewProxy("127.0.0.1:0", ts.Listener.Addr().String(), inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	url := "http://" + p.Addr()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("through-proxy request failed: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "ok" {
+		t.Fatalf("through-proxy body = %q", body)
+	}
+
+	inj.SetPartition(PartitionTwoWay)
+	healed := make(chan struct{})
+	go func() {
+		time.Sleep(300 * time.Millisecond)
+		inj.Heal()
+		close(healed)
+	}()
+	start := time.Now()
+	// A fresh connection per request: the partition stalls the stream,
+	// the heal releases it.
+	c := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}, Timeout: 10 * time.Second}
+	resp2, err := c.Get(url)
+	if err != nil {
+		t.Fatalf("post-heal request failed: %v", err)
+	}
+	resp2.Body.Close()
+	<-healed
+	if time.Since(start) < 250*time.Millisecond {
+		t.Fatalf("request completed in %v, before the partition healed", time.Since(start))
+	}
+	if inj.Stats().Conns < 2 {
+		t.Fatalf("stats = %+v", inj.Stats())
+	}
+}
+
+func TestProxyDropsConnections(t *testing.T) {
+	ts, _ := newEchoServer(t)
+	inj := New(Config{Seed: 9, DropRate: 1})
+	p, err := NewProxy("127.0.0.1:0", ts.Listener.Addr().String(), inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}, Timeout: 2 * time.Second}
+	if _, err := c.Get("http://" + p.Addr()); err == nil {
+		t.Fatal("DropRate 1 proxy served a request")
+	}
+	if inj.Stats().DroppedConns == 0 {
+		t.Fatalf("stats = %+v", inj.Stats())
+	}
+}
+
+func TestOffsetClock(t *testing.T) {
+	base := func() time.Time { return time.Date(2026, 1, 1, 12, 0, 0, 0, time.UTC) }
+	ahead := OffsetClock(base, 2*time.Minute)
+	behind := OffsetClock(base, -2*time.Minute)
+	if got := ahead().Sub(base()); got != 2*time.Minute {
+		t.Fatalf("ahead offset = %v", got)
+	}
+	if got := behind().Sub(base()); got != -2*time.Minute {
+		t.Fatalf("behind offset = %v", got)
+	}
+	if OffsetClock(nil, 0)().IsZero() {
+		t.Fatal("nil base did not default to time.Now")
+	}
+}

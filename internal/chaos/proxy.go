@@ -1,0 +1,150 @@
+package chaos
+
+import (
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Proxy is the listener-level injection point: a TCP forwarder that
+// subjects whole connections to the injector's faults. It covers what
+// the RoundTripper wrapper cannot — clients that dial a socket rather
+// than accept a custom http.Client (curl, a non-Go worker), and
+// connection-granular failure modes (a connection accepted and then
+// blackholed mid-stream by a partition).
+//
+// Per-connection faults, decided at accept time from the seeded RNG:
+//
+//   - drop: the connection is accepted and immediately closed
+//     (probability DropRate);
+//   - latency: the dial to the target is delayed by Latency ± Jitter;
+//   - two-way partition (checked continuously): both directions stall
+//     — bytes stop flowing until Heal;
+//   - one-way partition: client→target bytes still flow, the return
+//     path is discarded.
+type Proxy struct {
+	inj    *Injector
+	target string
+	ln     net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+}
+
+// NewProxy listens on addr (e.g. "127.0.0.1:0") and forwards each
+// accepted connection to target through inj's faults.
+func NewProxy(addr, target string, inj *Injector) (*Proxy, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{inj: inj, target: target, ln: ln, conns: map[net.Conn]struct{}{}}
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address, for clients to dial.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Close stops the listener and severs every live connection.
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	p.closed = true
+	conns := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+	p.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+func (p *Proxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+func (p *Proxy) acceptLoop() {
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.inj.conns.Add(1)
+		d := p.inj.decide()
+		if d.dropRequest || d.dropResponse {
+			p.inj.droppedConns.Add(1)
+			c.Close()
+			continue
+		}
+		go p.forward(c, d.delay)
+	}
+}
+
+func (p *Proxy) forward(client net.Conn, delay time.Duration) {
+	defer client.Close()
+	if !p.track(client) {
+		return
+	}
+	defer p.untrack(client)
+	if delay > 0 {
+		p.inj.delayed.Add(1)
+		time.Sleep(delay)
+	}
+	target, err := net.DialTimeout("tcp", p.target, 10*time.Second)
+	if err != nil {
+		return
+	}
+	defer target.Close()
+	done := make(chan struct{}, 2)
+	go func() { p.copyDir(target, client, false); done <- struct{}{} }()
+	go func() { p.copyDir(client, target, true); done <- struct{}{} }()
+	<-done // either direction closing tears the pair down (deferred Closes)
+}
+
+// copyDir pumps one direction in small chunks so partition state is
+// re-consulted continuously: a two-way partition stalls the stream
+// mid-flight, a one-way partition blackholes only the return path.
+func (p *Proxy) copyDir(dst io.Writer, src net.Conn, returning bool) {
+	buf := make([]byte, 32<<10)
+	for {
+		src.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+		n, err := src.Read(buf)
+		if n > 0 {
+			mode := p.inj.partition.Load()
+			for mode == PartitionTwoWay {
+				p.inj.partitioned.Add(1)
+				time.Sleep(20 * time.Millisecond)
+				mode = p.inj.partition.Load()
+			}
+			if returning && mode == PartitionOneWay {
+				p.inj.partitioned.Add(1)
+				continue // discard the return path
+			}
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			return
+		}
+	}
+}

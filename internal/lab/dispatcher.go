@@ -78,9 +78,10 @@ type dispJob struct {
 // Sweep is one submitted manifest expansion being worked through the
 // pool.
 type Sweep struct {
-	id      string
-	name    string
-	created time.Time
+	id        string
+	name      string
+	created   time.Time
+	journalID string // "" when the dispatcher has no journal
 
 	// ctx is cancelled by Dispatcher.Cancel; context-aware runners
 	// (RemoteRunner waiting on the fleet) abort through it.
@@ -175,6 +176,11 @@ type Dispatcher struct {
 	// without internal locks held) on every job state transition.
 	OnProgress func(ProgressEvent)
 
+	// Journal, when non-nil, receives sweep submissions, cancellations,
+	// and terminal cell outcomes so a crashed coordinator can recover
+	// its unfinished work (Resume). Set before the first Submit.
+	Journal *Journal
+
 	mu     sync.Mutex
 	cond   *sync.Cond
 	queue  []dispJob
@@ -246,13 +252,13 @@ func (d *Dispatcher) Submit(spec SweepSpec) (*Sweep, error) {
 	if err != nil {
 		return nil, err
 	}
-	return d.submit(spec.Name, spec.Instances, jobs)
+	return d.submit(spec.Name, spec.Instances, jobs, "")
 }
 
 // SubmitJobs enqueues an explicit job list as one sweep with no
 // per-sweep instance cap.
 func (d *Dispatcher) SubmitJobs(name string, jobs []JobSpec) (*Sweep, error) {
-	return d.submit(name, 0, jobs)
+	return d.submit(name, 0, jobs, "")
 }
 
 // SubmitJobsN is SubmitJobs with a testground-style instances cap: at
@@ -260,10 +266,34 @@ func (d *Dispatcher) SubmitJobs(name string, jobs []JobSpec) (*Sweep, error) {
 // The cap is a *request* — a smaller pool or fleet simply yields less
 // parallelism, never an error.
 func (d *Dispatcher) SubmitJobsN(name string, instances int, jobs []JobSpec) (*Sweep, error) {
-	return d.submit(name, instances, jobs)
+	return d.submit(name, instances, jobs, "")
 }
 
-func (d *Dispatcher) submit(name string, instances int, jobs []JobSpec) (*Sweep, error) {
+// Resume resubmits the unfinished sweeps of a journal recovery. Each
+// recovered sweep keeps its journal ID — its new terminal events
+// append under the identity the compacted journal already re-wrote —
+// and only cells that never reached `done` are resubmitted; finished
+// cells resolve from the result store anyway. It returns how many
+// sweeps and cells went back into the queue.
+func (d *Dispatcher) Resume(rec *Recovery) (sweeps, cells int, err error) {
+	if rec == nil {
+		return 0, 0, nil
+	}
+	for _, sw := range rec.Sweeps {
+		pending := sw.Pending()
+		if len(pending) == 0 {
+			continue
+		}
+		if _, err := d.submit(sw.Name, sw.Instances, pending, sw.JournalID); err != nil {
+			return sweeps, cells, fmt.Errorf("lab: resuming sweep %s (%q): %w", sw.JournalID, sw.Name, err)
+		}
+		sweeps++
+		cells += len(pending)
+	}
+	return sweeps, cells, nil
+}
+
+func (d *Dispatcher) submit(name string, instances int, jobs []JobSpec, journalID string) (*Sweep, error) {
 	if len(jobs) == 0 {
 		return nil, fmt.Errorf("lab: sweep %q expands to zero jobs", name)
 	}
@@ -287,9 +317,20 @@ func (d *Dispatcher) submit(name string, instances int, jobs []JobSpec) (*Sweep,
 		remaining: len(jobs),
 		done:      make(chan struct{}),
 	}
+	normalized := make([]JobSpec, 0, len(jobs))
 	for _, j := range jobs {
 		j = j.Normalize()
+		normalized = append(normalized, j)
 		sw.jobs = append(sw.jobs, JobView{Key: j.Key(), Spec: j, Status: JobQueued})
+	}
+	if d.Journal != nil {
+		if journalID == "" {
+			// New sweep: journal the submission. A recovered sweep
+			// (journalID set by Resume) is already in the compacted
+			// journal; re-journaling it would double it on replay.
+			journalID = d.Journal.BeginSweep(name, instances, normalized)
+		}
+		sw.journalID = journalID
 	}
 	d.sweeps[sw.id] = sw
 	d.order = append(d.order, sw.id)
@@ -339,6 +380,7 @@ func (d *Dispatcher) Cancel(id string) (SweepStatus, error) {
 	sw.mu.Unlock()
 	if !already {
 		sw.cancel() // wake context-aware runners
+		d.Journal.SweepCancelled(sw.journalID)
 	}
 	for _, j := range dropped {
 		d.setStatus(j, JobCancelled, sw.jobs[j.idx].Attempts, "sweep cancelled")
@@ -463,11 +505,15 @@ func (d *Dispatcher) setStatusAt(j dispJob, status JobStatus, attempts int, errM
 	v.NextAttempt = next
 	view := *v
 	finished := false
-	if status == JobDone || status == JobFailed || status == JobCancelled {
+	terminal := status == JobDone || status == JobFailed || status == JobCancelled
+	if terminal {
 		sw.remaining--
 		finished = sw.remaining == 0
 	}
 	sw.mu.Unlock()
+	if terminal {
+		d.Journal.JobDone(sw.journalID, view.Key, status)
+	}
 	if cb := d.OnProgress; cb != nil {
 		cb(ProgressEvent{SweepID: sw.id, Job: view})
 	}

@@ -61,9 +61,16 @@ type FleetConfig struct {
 	// Store, when non-nil, receives orphan records (results whose
 	// waiter is gone) so finished work is never thrown away.
 	Store *Store
+	// Journal, when non-nil, receives lease traffic (grants, renewals,
+	// completions, re-queues) for crash-recovery accounting.
+	Journal *Journal
 	// Clock replaces time.Now for tests. When set, the fleet does NOT
 	// run its background expiry ticker; the test drives ExpireDue.
 	Clock func() time.Time
+	// ExpiryTick forces the background expiry ticker even when Clock is
+	// set — for chaos tests that skew the coordinator's clock but still
+	// want real-time expiry behaviour.
+	ExpiryTick time.Duration
 }
 
 func (c *FleetConfig) withDefaults() FleetConfig {
@@ -92,8 +99,11 @@ func NewFleet(cfg FleetConfig) *Fleet {
 		leases:  map[string]*fleetLease{},
 		stop:    make(chan struct{}),
 	}
-	if f.cfg.Clock == nil {
-		go f.expireLoop()
+	switch {
+	case f.cfg.Clock == nil:
+		go f.expireLoop(f.cfg.LeaseTTL / 4)
+	case f.cfg.ExpiryTick > 0:
+		go f.expireLoop(f.cfg.ExpiryTick)
 	}
 	return f
 }
@@ -113,8 +123,8 @@ func (f *Fleet) now() time.Time {
 	return time.Now()
 }
 
-func (f *Fleet) expireLoop() {
-	t := time.NewTicker(f.cfg.LeaseTTL / 4)
+func (f *Fleet) expireLoop(tick time.Duration) {
+	t := time.NewTicker(tick)
 	defer t.Stop()
 	for {
 		select {
@@ -165,12 +175,18 @@ type fleetLease struct {
 }
 
 // Lease is the wire form of a grant: the job, which attempt this is,
-// and the deadline by which the worker must complete or renew.
+// and how long the worker has to complete or renew. TTLNS is the
+// authoritative lifetime — it is *relative*, so a worker whose clock
+// is minutes off the coordinator's still measures the same window
+// from its own clock (DESIGN.md §14). Deadline is the coordinator's
+// absolute view, kept for humans and dashboards; workers must not
+// compare it against their own clocks.
 type Lease struct {
 	ID       string    `json:"id"`
 	Key      string    `json:"key"`
 	Spec     JobSpec   `json:"spec"`
 	Attempt  int       `json:"attempt"`
+	TTLNS    int64     `json:"ttl_ns"`
 	Deadline time.Time `json:"deadline"`
 }
 
@@ -268,7 +284,7 @@ func (f *Fleet) Deregister(workerID string) {
 	for id, l := range w.leases {
 		delete(f.leases, id)
 		f.expired++
-		if j := f.requeueLocked(l.job); j != nil {
+		if j := f.requeueLocked(l.job, "worker deregistered"); j != nil {
 			fails = append(fails, j)
 		}
 	}
@@ -281,7 +297,7 @@ func (f *Fleet) Deregister(workerID string) {
 // requeueLocked returns a leased job to the queue with backoff, or —
 // when its attempts are exhausted — returns it for failure delivery
 // (delivery happens outside the lock). Abandoned jobs are dropped.
-func (f *Fleet) requeueLocked(job *fleetJob) (failed *fleetJob) {
+func (f *Fleet) requeueLocked(job *fleetJob, reason string) (failed *fleetJob) {
 	if job.abandoned {
 		return nil
 	}
@@ -292,6 +308,7 @@ func (f *Fleet) requeueLocked(job *fleetJob) (failed *fleetJob) {
 	job.notBefore = f.now().Add(backoffDelay(f.cfg.RetryBase, f.cfg.RetryCap, job.attempts))
 	f.queue = append(f.queue, job)
 	f.redispatched++
+	f.cfg.Journal.JobRequeued(job.key, reason)
 	return nil
 }
 
@@ -334,7 +351,8 @@ func (f *Fleet) Lease(workerID string, max int) ([]Lease, error) {
 		f.leases[l.id] = l
 		w.leases[l.id] = l
 		f.granted++
-		grants = append(grants, Lease{ID: l.id, Key: job.key, Spec: job.spec, Attempt: job.attempts, Deadline: l.deadline})
+		f.cfg.Journal.LeaseGranted(l.id, job.key, w.id, job.attempts)
+		grants = append(grants, Lease{ID: l.id, Key: job.key, Spec: job.spec, Attempt: job.attempts, TTLNS: int64(f.cfg.LeaseTTL), Deadline: l.deadline})
 	}
 	f.queue = kept
 	return grants, nil
@@ -367,6 +385,7 @@ func (f *Fleet) Heartbeat(workerID string, progress []HeartbeatProgress) (renewe
 		}
 		l.deadline = now.Add(f.cfg.LeaseTTL)
 		l.elapsed = time.Duration(p.ElapsedNS)
+		f.cfg.Journal.LeaseRenewed(p.ID)
 		renewed = append(renewed, p.ID)
 	}
 	return renewed, lost, nil
@@ -394,6 +413,7 @@ func (f *Fleet) Complete(leaseID string, rec *Record, errMsg string) {
 		delete(w.leases, leaseID)
 	}
 	job := l.job
+	f.cfg.Journal.LeaseCompleted(leaseID, job.key, errMsg == "" && rec != nil)
 	var outcome *jobOutcome
 	var orphan *Record
 	switch {
@@ -414,7 +434,7 @@ func (f *Fleet) Complete(leaseID string, rec *Record, errMsg string) {
 		if errMsg == "" {
 			errMsg = "worker returned neither record nor error"
 		}
-		if failed := f.requeueLocked(job); failed != nil {
+		if failed := f.requeueLocked(job, "attempt failed: "+errMsg); failed != nil {
 			outcome = &jobOutcome{err: fmt.Errorf("lab: job %s failed after %d lease attempts: %s", job.key, job.attempts, errMsg)}
 		}
 	}
@@ -468,7 +488,7 @@ func (f *Fleet) ExpireDue() int {
 		}
 		f.expired++
 		n++
-		if j := f.requeueLocked(l.job); j != nil {
+		if j := f.requeueLocked(l.job, "lease expired"); j != nil {
 			fails = append(fails, j)
 		}
 	}

@@ -1,0 +1,176 @@
+package lab_test
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"bots/internal/lab"
+)
+
+// Fault-path coverage for the runner stack (DESIGN.md §14): coalesced
+// CachedRunner waiters under cancellation, retry-vs-cache interaction,
+// and RemoteRunner behaviour when the fleet wire is stalled or
+// delivers duplicates.
+
+func newMemStore(t *testing.T) *lab.Store {
+	t.Helper()
+	s, err := lab.OpenStore(filepath.Join(t.TempDir(), "lab.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// TestCachedRunnerWaiterAbandonsOnCancel: a waiter coalesced onto an
+// in-flight execution whose wire has stalled must be able to leave
+// through its own context — without killing the execution it was
+// piggybacking on.
+func TestCachedRunnerWaiterAbandonsOnCancel(t *testing.T) {
+	store := newMemStore(t)
+	inner := &fakeRunner{block: make(chan struct{})}
+	cached := lab.NewCachedRunner(store, inner)
+	spec := testSpec("fib", 2)
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := lab.RunWithContext(context.Background(), cached, spec)
+		leaderDone <- err
+	}()
+	waitCond(t, 5*time.Second, func() bool { return inner.inflight.Load() == 1 })
+
+	// The waiter joins the in-flight execution, then its caller gives up.
+	ctx, cancel := context.WithCancel(context.Background())
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, err := lab.RunWithContext(ctx, cached, spec)
+		waiterDone <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the waiter park on the inflight slot
+	cancel()
+	select {
+	case err := <-waiterDone:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("abandoning waiter returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter did not abandon within 2s of cancellation")
+	}
+
+	// The leader's execution was unaffected: unblock it and the record
+	// lands in the store exactly once.
+	close(inner.block)
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("leader failed: %v", err)
+	}
+	if got := inner.calls.Load(); got != 1 {
+		t.Fatalf("runner executed %d times, want 1", got)
+	}
+	if store.Len() != 1 {
+		t.Fatalf("store len = %d, want 1", store.Len())
+	}
+}
+
+// TestCachedRunnerRetryDoesNotDoubleExecute: a failed attempt is not
+// cached, its retry executes once, and every later run of the key is
+// a pure cache hit — the retry loop can never double-execute a key
+// that already has a record.
+func TestCachedRunnerRetryDoesNotDoubleExecute(t *testing.T) {
+	store := newMemStore(t)
+	inner := &fakeRunner{}
+	inner.failN.Store(1) // first attempt fails, as if the wire dropped it
+	cached := lab.NewCachedRunner(store, inner)
+	spec := testSpec("fib", 4)
+
+	if _, err := cached.Run(spec); err == nil {
+		t.Fatal("first attempt unexpectedly succeeded")
+	}
+	if store.Len() != 0 {
+		t.Fatal("failed attempt left a record in the store")
+	}
+	rec, err := cached.Run(spec)
+	if err != nil || rec == nil {
+		t.Fatalf("retry failed: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := cached.Run(spec); err != nil {
+			t.Fatalf("cached re-run %d failed: %v", i, err)
+		}
+	}
+	if got := inner.calls.Load(); got != 2 {
+		t.Fatalf("runner executed %d times, want 2 (one failure + one success)", got)
+	}
+	if cached.Hits() != 3 || store.Len() != 1 {
+		t.Fatalf("hits = %d, store len = %d; want 3 and 1", cached.Hits(), store.Len())
+	}
+}
+
+// TestRemoteRunnerWaiterAbandonWhileWireStalled: with no worker ever
+// leasing (the wire to the fleet's workers is dead), a cancelled
+// caller must return promptly and its job must leave the queue.
+func TestRemoteRunnerWaiterAbandonWhileWireStalled(t *testing.T) {
+	clock := newFakeClock()
+	fleet := testFleet(t, clock, nil)
+	remote := lab.NewRemoteRunner(fleet)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := remote.RunContext(ctx, testSpec("fib", 2))
+		done <- err
+	}()
+	waitCond(t, 5*time.Second, func() bool { return fleet.Status().QueueDepth == 1 })
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("stalled waiter returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter did not abandon a stalled fleet within 2s")
+	}
+	if depth := fleet.Status().QueueDepth; depth != 0 {
+		t.Fatalf("queue depth after abandon = %d, want 0", depth)
+	}
+}
+
+// TestRemoteRunnerDuplicateCompleteIdempotent: a retried result post
+// (the worker's wire dropped the first response, so it sent again)
+// reaches Complete twice. The waiter gets exactly one record and the
+// duplicate lands in the store as an idempotent orphan write.
+func TestRemoteRunnerDuplicateCompleteIdempotent(t *testing.T) {
+	clock := newFakeClock()
+	store := newMemStore(t)
+	fleet := testFleet(t, clock, store)
+	w := fleet.Register("dup", 1)
+
+	ticket := fleet.Enqueue(testSpec("fib", 2))
+	leases, err := fleet.Lease(w, 1)
+	if err != nil || len(leases) != 1 {
+		t.Fatalf("lease: %v (%d)", err, len(leases))
+	}
+	rec := fakeRecordFor(leases[0].Spec, "dup")
+	fleet.Complete(leases[0].ID, rec, "")
+	fleet.Complete(leases[0].ID, rec, "") // the retried post
+
+	got, err := waitTicket(t, ticket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Key != leases[0].Key {
+		t.Fatalf("delivered record key = %s", got.Key)
+	}
+	st := fleet.Status()
+	if st.JobsCompleted != 1 {
+		t.Fatalf("jobs completed = %d, want 1", st.JobsCompleted)
+	}
+	if st.OrphanResults != 1 {
+		t.Fatalf("orphan results = %d, want 1 (the duplicate)", st.OrphanResults)
+	}
+	if store.Len() != 1 {
+		t.Fatalf("store len = %d, want 1 (duplicate writes same key)", store.Len())
+	}
+}

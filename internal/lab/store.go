@@ -1,7 +1,6 @@
 package lab
 
 import (
-	"bufio"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -9,16 +8,20 @@ import (
 )
 
 // Store is the persistent result store: an append-only JSONL file
-// (one Record per line) with an in-memory index by job key. Opening a
-// store replays the log; on duplicate keys the last record wins, so
-// re-running a cell supersedes the old measurement without rewriting
-// history. A Store with an empty path is purely in-memory.
+// (one checksum-framed Record per line, frame.go) with an in-memory
+// index by job key. Opening a store replays the log; on duplicate
+// keys the last record wins, so re-running a cell supersedes the old
+// measurement without rewriting history. A store killed mid-Put
+// reopens with every complete record intact: the torn final line is
+// truncated away with a warning (DESIGN.md §14), never a failed open.
+// A Store with an empty path is purely in-memory.
 type Store struct {
-	mu    sync.RWMutex
-	path  string
-	f     *os.File
-	byKey map[string]*Record
-	order []string // insertion order of first appearance
+	mu     sync.RWMutex
+	path   string
+	f      *os.File
+	byKey  map[string]*Record
+	order  []string // insertion order of first appearance
+	repair *TailRepair
 }
 
 // OpenStore opens (creating if needed) the JSONL store at path and
@@ -35,29 +38,31 @@ func OpenStore(path string) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("lab: opening store %s: %w", path, err)
 	}
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
-	line := 0
-	for sc.Scan() {
-		line++
-		raw := sc.Bytes()
-		if len(raw) == 0 {
-			continue
-		}
+	payloads, repair, err := loadFrames(f, path)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if repair != nil {
+		s.repair = repair
+		fmt.Fprintf(os.Stderr, "lab: store %s: %s\n", path, repair.Reason)
+	}
+	for i, raw := range payloads {
 		var r Record
 		if err := json.Unmarshal(raw, &r); err != nil {
 			f.Close()
-			return nil, fmt.Errorf("lab: store %s line %d: %w", path, line, err)
+			return nil, fmt.Errorf("lab: store %s record %d: %w", path, i+1, err)
 		}
 		s.index(&r)
-	}
-	if err := sc.Err(); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("lab: reading store %s: %w", path, err)
 	}
 	s.f = f
 	return s, nil
 }
+
+// TornTail reports the crash repair performed at open, if any: a
+// partially written final line dropped (or a missing terminator
+// restored) so the reload could proceed.
+func (s *Store) TornTail() *TailRepair { return s.repair }
 
 func (s *Store) index(r *Record) {
 	if _, seen := s.byKey[r.Key]; !seen {
@@ -98,8 +103,7 @@ func (s *Store) Put(r *Record) error {
 		if err != nil {
 			return fmt.Errorf("lab: encoding record %s: %w", r.Key, err)
 		}
-		raw = append(raw, '\n')
-		if _, err := s.f.Write(raw); err != nil {
+		if _, err := s.f.Write(frameOf(raw)); err != nil {
 			return fmt.Errorf("lab: appending to store %s: %w", s.path, err)
 		}
 	}

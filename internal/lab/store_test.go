@@ -1,7 +1,9 @@
 package lab_test
 
 import (
+	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -128,6 +130,175 @@ func TestStoreSelectFilters(t *testing.T) {
 	f := false
 	if got := len(s.Select(lab.Filter{Verified: &f})); got != 0 {
 		t.Errorf("verified=false filter matched %d, want 0", got)
+	}
+}
+
+// writeStoreRecords populates a fresh store file with n fib records
+// and returns the path plus the keys written.
+func writeStoreRecords(t *testing.T, n int) (string, []string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "lab.jsonl")
+	s, err := lab.OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys []string
+	for i := 0; i < n; i++ {
+		sp := testSpec("fib", i+1).Normalize()
+		if err := s.Put(&lab.Record{Key: sp.Key(), Spec: sp, Verified: true}); err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, sp.Key())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, keys
+}
+
+// TestStoreTornTailTruncated simulates a crash mid-Put: the final
+// line is cut partway through. The reopen must keep every complete
+// record, drop the torn tail with a repair report, and leave the file
+// appendable (the next Put lands on a clean line boundary).
+func TestStoreTornTailTruncated(t *testing.T) {
+	path, keys := writeStoreRecords(t, 3)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut the file mid-way through the last line, newline included.
+	lines := strings.SplitAfter(strings.TrimSuffix(string(raw), "\n"), "\n")
+	last := lines[len(lines)-1]
+	torn := strings.Join(lines[:len(lines)-1], "") + last[:len(last)/2]
+	if err := os.WriteFile(path, []byte(torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := lab.OpenStore(path)
+	if err != nil {
+		t.Fatalf("reopening torn store failed: %v", err)
+	}
+	if re.Len() != 2 {
+		t.Fatalf("reloaded store len = %d, want 2 (torn record dropped)", re.Len())
+	}
+	rep := re.TornTail()
+	if rep == nil || rep.DroppedBytes == 0 {
+		t.Fatalf("torn-tail repair = %+v, want dropped bytes reported", rep)
+	}
+	if _, ok := re.Get(keys[2]); ok {
+		t.Fatal("torn record survived the reload")
+	}
+	// The store must keep working after the repair: re-Put the lost
+	// cell, close, reload, and see all three.
+	sp3 := testSpec("fib", 3).Normalize()
+	if err := re.Put(&lab.Record{Key: sp3.Key(), Spec: sp3, Verified: true}); err != nil {
+		t.Fatal(err)
+	}
+	re.Close()
+	again, err := lab.OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer again.Close()
+	if again.Len() != 3 || again.TornTail() != nil {
+		t.Fatalf("post-repair reload: len=%d repair=%+v, want 3 records and no repair", again.Len(), again.TornTail())
+	}
+}
+
+// TestStoreTornTailMissingNewline covers the other tear: the final
+// record is intact but the terminator is gone. The record is kept and
+// the newline restored, so a later append cannot splice onto it.
+func TestStoreTornTailMissingNewline(t *testing.T) {
+	path, keys := writeStoreRecords(t, 2)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(strings.TrimSuffix(string(raw), "\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re, err := lab.OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 2 {
+		t.Fatalf("reloaded store len = %d, want 2 (intact record kept)", re.Len())
+	}
+	if re.TornTail() == nil {
+		t.Fatal("missing-newline repair not reported")
+	}
+	sp := testSpec("nqueens", 2).Normalize()
+	if err := re.Put(&lab.Record{Key: sp.Key(), Spec: sp, Verified: true}); err != nil {
+		t.Fatal(err)
+	}
+	re.Close()
+	again, err := lab.OpenStore(path)
+	if err != nil {
+		t.Fatalf("reload after repaired append failed: %v", err)
+	}
+	defer again.Close()
+	if again.Len() != 3 {
+		t.Fatalf("len = %d, want 3", again.Len())
+	}
+	if _, ok := again.Get(keys[1]); !ok {
+		t.Fatal("repaired record lost")
+	}
+}
+
+// TestStoreMidFileCorruptionStillFails pins the boundary of the
+// tolerance: damage that is NOT a torn tail (a checksum-failing line
+// with valid lines after it) is real corruption and must fail the
+// open rather than silently dropping records.
+func TestStoreMidFileCorruptionStillFails(t *testing.T) {
+	path, _ := writeStoreRecords(t, 3)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the first line's payload.
+	mangled := []byte(string(raw))
+	idx := strings.Index(string(mangled), `"verified":true`)
+	if idx < 0 {
+		t.Fatal("no payload byte to flip")
+	}
+	mangled[idx+12] = 'X' // `true` -> `trXe` under an unchanged crc
+	if err := os.WriteFile(path, mangled, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lab.OpenStore(path); err == nil {
+		t.Fatal("mid-file corruption did not fail the open")
+	}
+}
+
+// TestStoreLegacyUnframedLinesAccepted keeps pre-framing stores
+// readable: bare Record lines (no crc wrapper) load fine and new
+// appends upgrade the file in place.
+func TestStoreLegacyUnframedLinesAccepted(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "legacy.jsonl")
+	sp := testSpec("fib", 1).Normalize()
+	legacy := `{"key":"` + sp.Key() + `","spec":{"bench":"fib","version":"manual-tied","class":"test","threads":1,"simulate":1},"host":{"os":"linux","arch":"amd64","cpus":1,"go_version":"go"},"created_at":"2026-01-01T00:00:00Z","seq":{"elapsed_ns":1,"work":1,"mem_bytes":0},"elapsed_ns":1,"stats":null,"tasks":1,"sim":null,"verified":true}` + "\n"
+	if err := os.WriteFile(path, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := lab.OpenStore(path)
+	if err != nil {
+		t.Fatalf("legacy store failed to open: %v", err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("legacy store len = %d, want 1", s.Len())
+	}
+	sp2 := testSpec("fib", 2).Normalize()
+	if err := s.Put(&lab.Record{Key: sp2.Key(), Spec: sp2, Verified: true}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	re, err := lab.OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != 2 {
+		t.Fatalf("mixed legacy+framed store len = %d, want 2", re.Len())
 	}
 }
 

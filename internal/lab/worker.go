@@ -10,6 +10,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"bots/internal/obs"
 )
 
 // WorkerClient is the worker half of the fleet protocol: it registers
@@ -35,6 +37,26 @@ type WorkerClient struct {
 	// Logf, when non-nil, receives progress lines (botsd points it at
 	// stderr; tests leave it nil).
 	Logf func(format string, args ...any)
+	// RequestTimeout bounds each coordinator request (default 5s), so
+	// a stalled wire — injected latency, half-open connection — costs
+	// one timeout, not a hung worker.
+	RequestTimeout time.Duration
+	// WireRetries is how many times a failed coordinator request is
+	// retried (default 2; negative disables). Retries cover transport
+	// errors and 5xx responses with jittered exponential backoff; 4xx
+	// responses are the coordinator speaking clearly and never retried.
+	// Every endpoint is safe to repeat: registration worst-case leaves
+	// a ghost worker that ages out, and duplicate results land on
+	// content-addressed keys.
+	WireRetries int
+	// StartupRetries is how many times the initial registration is
+	// re-attempted (after its own wire retries) when the coordinator
+	// is unreachable at startup — botsd racing `botslab -fleet` at
+	// boot. Default 0: fail fast, for tests and interactive use.
+	StartupRetries int
+	// Clock replaces time.Now for chaos tests that skew the worker's
+	// view of time.
+	Clock func() time.Time
 
 	workerID string
 	ttl      time.Duration
@@ -42,19 +64,49 @@ type WorkerClient struct {
 	mu     sync.Mutex
 	active map[string]*leaseRun // leaseID → in-flight execution
 
-	done   atomic.Int64
-	failed atomic.Int64
+	done    atomic.Int64
+	failed  atomic.Int64
+	retries atomic.Int64 // wire-level request retries, for /metrics
 }
 
 type leaseRun struct {
 	lease Lease
 	start time.Time
+	// expires is the lease deadline measured on the WORKER's clock
+	// from the coordinator-issued relative TTL — immune to clock skew
+	// between the two hosts (DESIGN.md §14).
+	expires time.Time
+	lost    bool // coordinator reported the lease expired under us
 }
 
 func (c *WorkerClient) logf(format string, args ...any) {
 	if c.Logf != nil {
 		c.Logf(format, args...)
 	}
+}
+
+func (c *WorkerClient) now() time.Time {
+	if c.Clock != nil {
+		return c.Clock()
+	}
+	return time.Now()
+}
+
+// Retries reports lifetime wire-level request retries.
+func (c *WorkerClient) Retries() int64 { return c.retries.Load() }
+
+// RegisterObs exposes the worker's wire counters on an obs registry
+// (botsd's -metrics-addr endpoint).
+func (c *WorkerClient) RegisterObs(reg *obs.Registry) {
+	reg.CounterFunc("bots_lab_http_retries_total",
+		"Coordinator requests retried after a transport error or 5xx.",
+		func() float64 { return float64(c.retries.Load()) })
+	reg.CounterFunc("bots_lab_worker_leases_done_total",
+		"Leases executed to a record by this worker.",
+		func() float64 { return float64(c.done.Load()) })
+	reg.CounterFunc("bots_lab_worker_leases_failed_total",
+		"Leases that failed execution on this worker.",
+		func() float64 { return float64(c.failed.Load()) })
 }
 
 // Run is the daemon loop: register, then lease/execute/report until
@@ -75,10 +127,37 @@ func (c *WorkerClient) Run(ctx context.Context) error {
 	if c.Client == nil {
 		c.Client = http.DefaultClient
 	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 5 * time.Second
+	}
+	if c.WireRetries == 0 {
+		c.WireRetries = 2
+	}
 	c.active = map[string]*leaseRun{}
 
-	if err := c.register(ctx); err != nil {
-		return err
+	// Startup: the coordinator may not be up yet (botsd and botslab
+	// racing out of the same supervisor). Retry registration with
+	// backoff up to StartupRetries times; a SIGTERM while waiting is a
+	// clean shutdown, not an error.
+	for attempt := 0; ; attempt++ {
+		err := c.register(ctx)
+		if err == nil {
+			break
+		}
+		if ctx.Err() != nil {
+			c.logf("shutdown requested before registration completed")
+			return nil
+		}
+		if attempt >= c.StartupRetries {
+			return err
+		}
+		delay := backoffDelay(500*time.Millisecond, 10*time.Second, attempt+1)
+		c.logf("registration failed (attempt %d of %d): %v; retrying in %s",
+			attempt+1, c.StartupRetries+1, err, delay.Round(time.Millisecond))
+		if !c.sleep(ctx, delay) {
+			c.logf("shutdown requested before registration completed")
+			return nil
+		}
 	}
 	c.logf("registered as %s (capacity %d, lease TTL %s)", c.workerID, c.Capacity, c.ttl)
 
@@ -153,8 +232,15 @@ lease:
 		}
 		for _, l := range leases {
 			l := l
+			ttl := time.Duration(l.TTLNS)
+			if ttl <= 0 {
+				ttl = c.ttl
+			}
 			c.mu.Lock()
-			c.active[l.ID] = &leaseRun{lease: l, start: time.Now()}
+			// Expiry measured on OUR clock from the relative TTL — the
+			// coordinator's absolute Deadline is never consulted, so
+			// clock skew between the hosts cannot strand a lease.
+			c.active[l.ID] = &leaseRun{lease: l, start: time.Now(), expires: c.now().Add(ttl)}
 			c.mu.Unlock()
 			execWG.Add(1)
 			go func() {
@@ -187,8 +273,12 @@ func (c *WorkerClient) execute(l Lease) {
 	start := time.Now()
 	rec, err := c.Exec.Execute(l.Spec)
 	c.mu.Lock()
+	run := c.active[l.ID]
 	delete(c.active, l.ID)
 	c.mu.Unlock()
+	if run != nil && run.lost {
+		c.logf("lease %s: finished after coordinator gave up on it; result will land as an orphan", l.ID)
+	}
 
 	var errMsg string
 	if err != nil {
@@ -264,9 +354,20 @@ func (c *WorkerClient) heartbeat() {
 		c.logf("heartbeat failed: %v", err)
 		return
 	}
-	for _, id := range resp.Lost {
-		c.logf("lease %s expired under us; finishing as orphan", id)
+	now := c.now()
+	c.mu.Lock()
+	for _, id := range resp.Renewed {
+		if run := c.active[id]; run != nil {
+			run.expires = now.Add(c.ttl)
+		}
 	}
+	for _, id := range resp.Lost {
+		if run := c.active[id]; run != nil && !run.lost {
+			run.lost = true
+			c.logf("lease %s expired under us; finishing as orphan", id)
+		}
+	}
+	c.mu.Unlock()
 }
 
 func (c *WorkerClient) sleep(ctx context.Context, d time.Duration) bool {
@@ -293,12 +394,51 @@ func isUnknownWorker(err error) bool {
 	return ok && se.status == http.StatusNotFound
 }
 
+// post sends one coordinator request with a per-attempt timeout and
+// bounded retries. Transport errors and 5xx responses retry with the
+// shared jittered backoff; a 4xx is the coordinator speaking clearly
+// (unknown worker, bad request) and returns immediately. ctx
+// cancellation stops the retry loop between attempts.
 func (c *WorkerClient) post(ctx context.Context, path string, body, out any) error {
 	buf, err := json.Marshal(body)
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Coordinator+path, bytes.NewReader(buf))
+	attempts := c.WireRetries + 1
+	if attempts < 1 {
+		attempts = 1
+	}
+	var last error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if attempt > 1 {
+			c.retries.Add(1)
+			if !c.sleep(ctx, backoffDelay(100*time.Millisecond, 2*time.Second, attempt-1)) {
+				return last
+			}
+		}
+		err := c.postOnce(ctx, path, buf, out)
+		if err == nil {
+			return nil
+		}
+		if se, ok := err.(*httpStatusError); ok && se.status < 500 {
+			return err // 4xx: retrying cannot change the answer
+		}
+		if ctx.Err() != nil {
+			return err
+		}
+		last = err
+	}
+	return fmt.Errorf("%w (after %d attempts)", last, attempts)
+}
+
+func (c *WorkerClient) postOnce(ctx context.Context, path string, buf []byte, out any) error {
+	timeout := c.RequestTimeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	rctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, c.Coordinator+path, bytes.NewReader(buf))
 	if err != nil {
 		return err
 	}
